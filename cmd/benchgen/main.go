@@ -1,0 +1,86 @@
+// Command benchgen synthesizes the benchmark suite and writes .bench
+// files: ISCAS/ITC profile circuits (c7552, s35932, s38584, b15, b20)
+// and the CEP cores (AES round, SHA-256 compression, MD5 steps, GPS
+// C/A code generator).
+//
+// Usage:
+//
+//	benchgen -name c7552 -scale 0.25 -out c7552.bench
+//	benchgen -name AES -cep full -out aes.bench
+//	benchgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "benchmark name (see -list)")
+		scale  = flag.Float64("scale", 1.0, "scale for ISCAS profiles (0,1]")
+		cep    = flag.String("cep", "full", "CEP size class: full|small")
+		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "bench", "output format: bench|verilog")
+		list   = flag.Bool("list", false, "list available benchmarks")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("ISCAS/ITC profiles:")
+		for _, p := range circuit.ISCASProfiles() {
+			fmt.Printf("  %-8s %5d in, %4d out, %6d gates\n", p.Name, p.Inputs, p.Outputs, p.Gates)
+		}
+		fmt.Println("CEP cores: AES, SHA-256, MD5, GPS, DES, FIR")
+		return
+	}
+	nl, err := build(*name, *scale, *cep)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "bench":
+		err = nl.WriteBench(w)
+	case "verilog":
+		err = nl.WriteVerilog(w)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	stats, err := nl.ComputeStats()
+	if err == nil {
+		fmt.Fprintln(os.Stderr, stats.String())
+	}
+}
+
+func build(name string, scale float64, cepClass string) (*netlist.Netlist, error) {
+	if p, ok := circuit.ProfileByName(name); ok {
+		return p.Synthesize(scale)
+	}
+	suite, err := circuit.CEPSuite(cepClass)
+	if err != nil {
+		return nil, err
+	}
+	if nl, ok := suite[name]; ok {
+		return nl, nil
+	}
+	return nil, fmt.Errorf("unknown benchmark %q (use -list)", name)
+}

@@ -1,0 +1,86 @@
+// Command gosat runs the library's CDCL solver on a DIMACS CNF file —
+// a standalone check that the SAT substrate behaves like any other
+// solver (and a convenient way to benchmark it against instances from
+// elsewhere).
+//
+// Usage:
+//
+//	gosat [-timeout 60s] [-model] problem.cnf
+//	cat problem.cnf | gosat
+//
+// Exit status: 10 = SAT, 20 = UNSAT, 0 = unknown (matching the SAT
+// competition convention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+		model   = flag.Bool("model", true, "print the satisfying assignment (v lines)")
+		stats   = flag.Bool("stats", true, "print solver statistics (c line)")
+	)
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gosat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	f, err := cnf.ParseDimacs(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gosat:", err)
+		os.Exit(1)
+	}
+
+	s := sat.New()
+	start := time.Now()
+	status := sat.Unsat
+	if s.AddFormula(f) {
+		if *timeout > 0 {
+			s.SetDeadline(start.Add(*timeout))
+		}
+		status = s.Solve()
+	}
+	elapsed := time.Since(start)
+
+	if *stats {
+		fmt.Printf("c vars=%d clauses=%d elapsed=%v\n", f.NumVars, f.NumClauses(), elapsed.Round(time.Microsecond))
+		fmt.Printf("c %v\n", s.Stats())
+	}
+	switch status {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v")
+			for v := 0; v < f.NumVars; v++ {
+				lit := v + 1
+				if !s.Model()[v] {
+					lit = -lit
+				}
+				fmt.Printf(" %d", lit)
+			}
+			fmt.Println(" 0")
+		}
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}

@@ -1,0 +1,145 @@
+// Command locker obfuscates a gate-level .bench netlist with
+// RIL-Blocks or one of the baseline schemes, emitting the locked
+// netlist plus the correct key.
+//
+// Usage:
+//
+//	locker -in c7552.bench -scheme ril -size 8x8x8 -blocks 3 \
+//	       -out locked.bench -keyout key.txt
+//	locker -in c7552.bench -scheme xor -keybits 32 -out locked.bench
+//
+// Schemes: ril, lut, xor, sarlock, antisat, sfll, caslock, meso.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input .bench netlist")
+		out     = flag.String("out", "", "locked .bench output (default stdout)")
+		keyout  = flag.String("keyout", "", "key file output (name=bit per line; default stderr)")
+		scheme  = flag.String("scheme", "ril", "ril|lut|xor|sarlock|antisat|sfll|caslock|meso")
+		size    = flag.String("size", "8x8x8", "RIL-Block geometry (2x2, 8x8, 8x8x8, 4x4x4, ...)")
+		blocks  = flag.Int("blocks", 1, "number of RIL-Blocks / LUTs / MESO gates")
+		keybits = flag.Int("keybits", 16, "key width for xor/sarlock/antisat/sfll/caslock")
+		hd      = flag.Int("hd", 0, "SFLL Hamming distance h")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		scan    = flag.Bool("scan", false, "add scan-enable obfuscation (ril only)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "locker: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	orig, err := netlist.ParseBench(*in, f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	locked, keyPos, key, extra, err := lock(orig, *scheme, *size, *blocks, *keybits, *hd, *seed, *scan)
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer of.Close()
+		w = of
+	}
+	if err := locked.WriteBench(w); err != nil {
+		fail(err)
+	}
+
+	kw := os.Stderr
+	if *keyout != "" {
+		kf, err := os.Create(*keyout)
+		if err != nil {
+			fail(err)
+		}
+		defer kf.Close()
+		kw = kf
+	}
+	bw := bufio.NewWriter(kw)
+	for i, pos := range keyPos {
+		name := locked.Gates[locked.Inputs[pos]].Name
+		bit := 0
+		if key[i] {
+			bit = 1
+		}
+		fmt.Fprintf(bw, "%s=%d\n", name, bit)
+	}
+	bw.Flush()
+	if extra != "" {
+		fmt.Fprintln(os.Stderr, extra)
+	}
+}
+
+func lock(orig *netlist.Netlist, scheme, sizeStr string, blocks, keybits, hd int, seed int64, scan bool) (*netlist.Netlist, []int, []bool, string, error) {
+	switch scheme {
+	case "ril":
+		size, err := core.ParseSize(sizeStr)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		res, err := core.Lock(orig, core.Options{
+			Blocks: blocks, Size: size, Seed: seed, ScanEnable: scan,
+		})
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		extra := fmt.Sprintf("locker: %s", res.Overhead())
+		return res.Locked, res.KeyInputPos, res.Key, extra, nil
+	case "lut":
+		l, err := baselines.LUTLock(orig, blocks, seed)
+		return unpack(l, err)
+	case "xor":
+		l, err := baselines.XORLock(orig, keybits, seed)
+		return unpack(l, err)
+	case "sarlock":
+		l, err := baselines.SARLock(orig, keybits, seed)
+		return unpack(l, err)
+	case "antisat":
+		l, err := baselines.AntiSAT(orig, keybits, seed)
+		return unpack(l, err)
+	case "sfll":
+		l, err := baselines.SFLLHD(orig, keybits, hd, seed)
+		return unpack(l, err)
+	case "caslock":
+		l, err := baselines.CASLock(orig, keybits, seed)
+		return unpack(l, err)
+	case "meso":
+		l, err := baselines.MESOLock(orig, blocks, seed)
+		return unpack(l, err)
+	}
+	return nil, nil, nil, "", fmt.Errorf("unknown scheme %q", scheme)
+}
+
+func unpack(l *baselines.Locked, err error) (*netlist.Netlist, []int, []bool, string, error) {
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	return l.Netlist, l.KeyPos, l.Key, "", nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "locker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command mramsim exercises the device-level MRAM LUT models: the
+// Fig. 5 transient waveform, the Fig. 6 Monte-Carlo sweep, the Table IV
+// energy table and the power side-channel comparison.
+//
+// Usage:
+//
+//	mramsim -wave > fig5.csv
+//	mramsim -mc 100
+//	mramsim -energy
+//	mramsim -psca -traces 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		wave   = flag.Bool("wave", false, "emit the Fig. 5 transient waveform as CSV")
+		mc     = flag.Int("mc", 0, "run an N-instance Monte-Carlo sweep (Fig. 6)")
+		energy = flag.Bool("energy", false, "print the Table IV energy table")
+		psca   = flag.Bool("psca", false, "run the CPA comparison (SRAM vs MRAM)")
+		traces = flag.Int("traces", 400, "power traces for -psca")
+		noise  = flag.Float64("noise", 0.05, "relative measurement noise for -psca")
+		seed   = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+
+	did := false
+	if *wave {
+		did = true
+		if err := report.Fig5(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *mc > 0 {
+		did = true
+		t, _ := report.Fig6(*mc, *seed)
+		fmt.Println(t.String())
+	}
+	if *energy {
+		did = true
+		t, err := report.Table4(*seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.String())
+	}
+	if *psca {
+		did = true
+		t, err := report.PSCATable(*traces, *noise, *seed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.String())
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mramsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,191 @@
+// Command rilbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rilbench -exp table1 [-timeout 5s] [-scale 0.25] [-counts 1,2,3]
+//	rilbench -exp table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip
+//	rilbench -exp all
+//
+// Runtimes are scaled: the paper used a 5-day timeout on full-size
+// benchmarks; pass -scale 1.0 -timeout 120h to approximate that run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|ablation|dynamic|all")
+		timeout = flag.Duration("timeout", 2*time.Second, "SAT-attack timeout per run (paper: 120h)")
+		scale   = flag.Float64("scale", 0.25, "benchmark circuit scale in (0,1]")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		counts  = flag.String("counts", "1,2,3,4,5,10,25,50,75,100", "Table I block counts")
+		mc      = flag.Int("mc", 100, "Monte-Carlo instances for fig6")
+		traces  = flag.Int("traces", 400, "power traces for psca")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "rilbench:", err)
+			os.Exit(1)
+		}
+		csvOut = *csvDir
+	}
+	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed}
+	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
+		fmt.Fprintln(os.Stderr, "rilbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when set, receives a CSV copy of every printed table.
+var csvOut string
+
+var csvSeq int
+
+func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) error {
+	show := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.String())
+		if csvOut != "" {
+			csvSeq++
+			name := fmt.Sprintf("%s/%02d_%s.csv", csvOut, csvSeq, slug(t.Title))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "rilbench: wrote", name)
+		}
+		return nil
+	}
+	switch exp {
+	case "table1":
+		counts, err := parseCounts(countsCSV)
+		if err != nil {
+			return err
+		}
+		return show(report.Table1(cfg, counts))
+	case "table2":
+		return show(report.Table2(), nil)
+	case "table3":
+		return show(report.Table3(cfg))
+	case "table4":
+		return show(report.Table4(cfg.Seed))
+	case "table5":
+		return show(report.Table5(cfg))
+	case "fig1":
+		return show(report.Fig1(cfg, 8))
+	case "fig5":
+		return report.Fig5(os.Stdout)
+	case "fig6":
+		t, _ := report.Fig6(mc, cfg.Seed)
+		fmt.Println(t.String())
+		return nil
+	case "overhead":
+		return show(report.OverheadTable(), nil)
+	case "psca":
+		return show(report.PSCATable(traces, 0.05, cfg.Seed))
+	case "dip":
+		return show(report.DIPGrowth(cfg, []int{4, 6, 8, 10}))
+	case "ablation":
+		return show(report.Ablation(cfg))
+	case "onehot":
+		return show(report.OneHotEncoding(cfg))
+	case "sensitize":
+		return show(report.Sensitization(cfg))
+	case "ppa":
+		return show(report.PPATable(cfg))
+	case "lutsize":
+		return show(report.LUTSizeTable(cfg, 6))
+	case "dynamic":
+		return show(report.DynamicMorphing(cfg, 2))
+	case "all":
+		counts, err := parseCounts(countsCSV)
+		if err != nil {
+			return err
+		}
+		if err := show(report.Table1(cfg, counts)); err != nil {
+			return err
+		}
+		if err := show(report.Table2(), nil); err != nil {
+			return err
+		}
+		if err := show(report.Table3(cfg)); err != nil {
+			return err
+		}
+		if err := show(report.Table4(cfg.Seed)); err != nil {
+			return err
+		}
+		if err := show(report.Table5(cfg)); err != nil {
+			return err
+		}
+		if err := show(report.Fig1(cfg, 8)); err != nil {
+			return err
+		}
+		t6, _ := report.Fig6(mc, cfg.Seed)
+		fmt.Println(t6.String())
+		if err := show(report.OverheadTable(), nil); err != nil {
+			return err
+		}
+		if err := show(report.PSCATable(traces, 0.05, cfg.Seed)); err != nil {
+			return err
+		}
+		if err := show(report.Ablation(cfg)); err != nil {
+			return err
+		}
+		return show(report.DynamicMorphing(cfg, 2))
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+// slug makes a filesystem-friendly name from a table title.
+func slug(title string) string {
+	var sb strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			sb.WriteByte('_')
+		}
+		if sb.Len() >= 40 {
+			break
+		}
+	}
+	return strings.Trim(sb.String(), "_")
+}
+
+func parseCounts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no counts given")
+	}
+	return out, nil
+}

@@ -1,0 +1,187 @@
+// Command satattack mounts the oracle-guided SAT attack (or AppSAT)
+// against a locked .bench netlist. The oracle is built from the locked
+// netlist plus the correct key file produced by cmd/locker (in the
+// paper's threat model the attacker has physical oracle access; here
+// the activated chip is simulated).
+//
+// Usage:
+//
+//	satattack -locked locked.bench -key key.txt [-timeout 10s] [-appsat]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		lockedPath = flag.String("locked", "", "locked .bench netlist")
+		keyPath    = flag.String("key", "", "key file (name=bit per line) for the simulated oracle")
+		prefix     = flag.String("keyprefix", "keyinput", "key input name prefix")
+		timeout    = flag.Duration("timeout", 10*time.Second, "attack timeout (paper: 120h)")
+		appsat     = flag.Bool("appsat", false, "run AppSAT instead of the exact SAT attack")
+		bva        = flag.Bool("bva", false, "apply BVA preprocessing to the encoding")
+		sensitize  = flag.Bool("sensitize", false, "run the key-sensitization attack instead")
+		removal    = flag.Bool("removal", false, "run the structural removal attack instead")
+		tracePath  = flag.String("trace", "", "write a per-DIP CSV trace (iteration,dip,oracle) to this file")
+	)
+	flag.Parse()
+	if *lockedPath == "" || *keyPath == "" {
+		fmt.Fprintln(os.Stderr, "satattack: -locked and -key are required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*lockedPath)
+	if err != nil {
+		fail(err)
+	}
+	locked, err := netlist.ParseBench(*lockedPath, f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	keyPos := locked.GateIDsByPrefix(*prefix)
+	if len(keyPos) == 0 {
+		fail(fmt.Errorf("no key inputs with prefix %q", *prefix))
+	}
+	key, err := readKey(*keyPath, locked, keyPos)
+	if err != nil {
+		fail(err)
+	}
+
+	bound, err := locked.BindInputs(keyPos, key)
+	if err != nil {
+		fail(err)
+	}
+	oracle, err := attack.NewSimOracle(bound)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("satattack: %d key bits, %d functional inputs, %d outputs, timeout %v\n",
+		len(keyPos), len(locked.Inputs)-len(keyPos), len(locked.Outputs), *timeout)
+
+	if *sensitize {
+		res, err := attack.Sensitize(locked, keyPos, oracle, 16, *timeout)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("satattack:", res)
+		return
+	}
+	if *removal {
+		stripped, err := attack.StructuralRemoval(locked, keyPos, 1)
+		if err != nil {
+			fail(err)
+		}
+		strippedOracle, err := attack.NewSimOracle(stripped)
+		if err != nil {
+			fail(err)
+		}
+		e, err := attack.OracleErrorRate(strippedOracle, oracle, 16, 2)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("satattack: removal attack output error rate %.6f (0 = circuit recovered exactly)\n", e)
+		return
+	}
+	if *appsat {
+		opt := attack.DefaultAppSAT()
+		opt.Timeout = *timeout
+		res, err := attack.AppSAT(locked, keyPos, oracle, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("satattack:", res)
+		if res.Status == attack.KeyFound {
+			reportKey(locked, keyPos, res.Key, oracle)
+		}
+		return
+	}
+
+	opts := attack.SATOptions{Timeout: *timeout, BVA: *bva}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer tf.Close()
+		opts.Trace = tf
+	}
+	res, err := attack.SATAttack(locked, keyPos, oracle, opts)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("satattack:", res)
+	fmt.Println("satattack: oracle queries:", oracle.Queries())
+	if res.Status == attack.KeyFound {
+		reportKey(locked, keyPos, res.Key, oracle)
+	} else {
+		fmt.Println("satattack: TIMEOUT — the paper reports this outcome as infinity")
+	}
+}
+
+func reportKey(locked *netlist.Netlist, keyPos []int, key []bool, oracle attack.Oracle) {
+	e, err := attack.VerifyKey(locked, keyPos, key, oracle, 16, 1)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("satattack: recovered key verified, error rate %.6f\n", e)
+	var sb strings.Builder
+	for _, b := range key {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	fmt.Println("satattack: key =", sb.String())
+}
+
+func readKey(path string, locked *netlist.Netlist, keyPos []int) ([]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byName := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		eq := strings.Split(line, "=")
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("bad key line %q", line)
+		}
+		byName[strings.TrimSpace(eq[0])] = strings.TrimSpace(eq[1]) == "1"
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	key := make([]bool, len(keyPos))
+	for i, pos := range keyPos {
+		name := locked.Gates[locked.Inputs[pos]].Name
+		v, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("key file missing %q", name)
+		}
+		key[i] = v
+	}
+	return key, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "satattack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Securing Hardware via Dynamic Obfuscation
+// Utilizing Reconfigurable Interconnect and Logic Blocks" (DAC 2021).
+//
+// The library lives under internal/: netlist and benchmark synthesis,
+// a CDCL SAT solver, the RIL-Block obfuscation core, oracle-guided
+// attacks (SAT attack, AppSAT, ScanSAT, removal), STT-MTJ device and
+// MRAM-LUT circuit simulation, and power side-channel analysis. The
+// cmd/ tools and examples/ programs exercise the public surface; the
+// root-level benchmarks regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+package repro

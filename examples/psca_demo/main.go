@@ -1,0 +1,71 @@
+// psca_demo: mount correlation power analysis against the key storage
+// of a conventional SRAM-based LUT and of the paper's complementary
+// MRAM-based LUT. The SRAM key falls to CPA within a few hundred
+// traces; the MRAM LUT's symmetric read path leaves the attacker at
+// guess level (paper §IV-D).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/lutsim"
+	"repro/internal/mtj"
+	"repro/internal/psca"
+)
+
+func main() {
+	cfg := lutsim.DefaultConfig()
+	secret := logic.NAND // the LUT configuration the attacker wants
+	const traces = 400
+	const noise = 0.05
+
+	fmt.Printf("secret LUT configuration: %s\n", secret)
+	fmt.Printf("collecting %d traces at %.0f%% measurement noise\n\n", traces, noise*100)
+
+	// --- SRAM target -----------------------------------------------
+	sram := lutsim.NewSRAM(cfg)
+	sram.Configure(secret)
+	sramTraces := psca.CollectSRAM(sram, traces, noise, 1)
+	sramCPA, err := psca.CPA(sramTraces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sramDPA, err := psca.DPA(sramTraces, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SRAM LUT:")
+	fmt.Printf("  CPA best hypothesis: %s (margin %.3f) — recovered: %v\n",
+		sramCPA.Best, sramCPA.Margin, sramCPA.Recovered(secret))
+	fmt.Printf("  DPA separation: %.3g W (t = %.1f), SNR %.3f\n\n",
+		sramDPA.Diff, sramDPA.TValue, psca.SNR(sramTraces, secret))
+
+	// --- MRAM target (process-varied instance, as fabricated) ------
+	rng := rand.New(rand.NewSource(2))
+	mram := lutsim.Sample(cfg, mtj.DefaultVariation(), lutsim.DefaultMOSVariation(), rng)
+	for _, r := range mram.Configure(secret) {
+		if r.Error {
+			log.Fatal("MRAM configuration write failed")
+		}
+	}
+	mramTraces := psca.CollectMRAM(mram, traces, noise, 3)
+	mramCPA, err := psca.CPA(mramTraces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mramDPA, err := psca.DPA(mramTraces, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MRAM LUT (complementary MTJ sensing):")
+	fmt.Printf("  CPA best hypothesis: %s (margin %.3f) — recovered: %v\n",
+		mramCPA.Best, mramCPA.Margin, mramCPA.Recovered(secret))
+	fmt.Printf("  DPA separation: %.3g W (t = %.1f), SNR %.4f\n\n",
+		mramDPA.Diff, mramDPA.TValue, psca.SNR(mramTraces, secret))
+
+	fmt.Println("the complementary read path draws the same current for 0 and 1,")
+	fmt.Println("so the output-dependent power component vanishes — P-SCA mitigated")
+}

@@ -1,0 +1,224 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// AppSATOptions tunes the approximate attack.
+type AppSATOptions struct {
+	Timeout time.Duration
+	// DIPsPerRound is how many SAT-attack iterations run between error
+	// estimations (d in the AppSAT paper).
+	DIPsPerRound int
+	// RandomQueries is the sample size for error estimation (q).
+	RandomQueries int
+	// ErrorThreshold: terminate when the estimated error of the current
+	// candidate key drops to or below this rate.
+	ErrorThreshold float64
+	// MaxRounds bounds the outer loop.
+	MaxRounds int
+	Seed      int64
+}
+
+// DefaultAppSAT mirrors the attack's customary settings, scaled for a
+// simulator substrate.
+func DefaultAppSAT() AppSATOptions {
+	return AppSATOptions{
+		DIPsPerRound:   8,
+		RandomQueries:  64,
+		ErrorThreshold: 0.02,
+		MaxRounds:      64,
+		Seed:           1,
+	}
+}
+
+// AppSATResult reports an AppSAT run.
+type AppSATResult struct {
+	Status        Status
+	Key           []bool
+	ErrorEstimate float64 // error rate AppSAT itself believed it achieved
+	Rounds        int
+	DIPs          int
+	Elapsed       time.Duration
+}
+
+func (r *AppSATResult) String() string {
+	return fmt.Sprintf("appsat %s: rounds=%d dips=%d est.err=%.4f in %v",
+		r.Status, r.Rounds, r.DIPs, r.ErrorEstimate, r.Elapsed.Round(time.Millisecond))
+}
+
+// AppSAT runs the approximate SAT attack: interleaved DIP rounds and
+// random-query reinforcement. It terminates early when the candidate
+// key's estimated error dips below the threshold — which, for
+// low-corruptibility schemes, yields an approximate key quickly. The
+// returned key must still be validated against the functional circuit:
+// under scan-enable obfuscation the oracle responses are corrupted, so
+// AppSAT converges (if at all) to a key for the wrong function — the
+// paper reports this as erroneous termination (Table III, ✗).
+func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOptions) (*AppSATResult, error) {
+	start := time.Now()
+	if opt.DIPsPerRound <= 0 || opt.RandomQueries <= 0 || opt.MaxRounds <= 0 {
+		return nil, fmt.Errorf("attack: bad AppSAT options %+v", opt)
+	}
+	funcPos, err := splitInputs(locked, keyPos)
+	if err != nil {
+		return nil, err
+	}
+	if oracle.NumInputs() != len(funcPos) || oracle.NumOutputs() != len(locked.Outputs) {
+		return nil, fmt.Errorf("attack: oracle signature mismatch")
+	}
+
+	enc := cnf.NewEncoder()
+	copy1, err := enc.Encode(locked, nil)
+	if err != nil {
+		return nil, err
+	}
+	shared := make(map[int]cnf.Var, len(funcPos))
+	for _, p := range funcPos {
+		shared[p] = copy1.Inputs[p]
+	}
+	copy2, err := enc.Encode(locked, shared)
+	if err != nil {
+		return nil, err
+	}
+	diffs := make([]cnf.Lit, len(locked.Outputs))
+	for i := range locked.Outputs {
+		diffs[i] = cnf.MkLit(enc.EncodeXor2(
+			cnf.MkLit(copy1.Outputs[i], false),
+			cnf.MkLit(copy2.Outputs[i], false)), false)
+	}
+	act := enc.F.NewVar()
+	enc.F.AddClause(append(append([]cnf.Lit(nil), diffs...), cnf.MkLit(act, true))...)
+
+	solver := sat.New()
+	if !solver.AddFormula(enc.F) {
+		return nil, fmt.Errorf("attack: base encoding unsatisfiable")
+	}
+	if opt.Timeout > 0 {
+		solver.SetDeadline(start.Add(opt.Timeout))
+	}
+	key1 := make([]cnf.Var, len(keyPos))
+	for i, p := range keyPos {
+		key1[i] = copy1.Inputs[p]
+	}
+	key2 := make([]cnf.Var, len(keyPos))
+	for i, p := range keyPos {
+		key2[i] = copy2.Inputs[p]
+	}
+
+	rng := newRand(opt.Seed)
+	res := &AppSATResult{}
+	addConstraint := func(in, out []bool) error {
+		for _, keyVars := range [][]cnf.Var{key1, key2} {
+			cgv, err := encodeConstrainedCopy(solver, locked, funcPos, keyPos, keyVars, in)
+			if err != nil {
+				return err
+			}
+			for i, ov := range cgv {
+				solver.AddClause(cnf.MkLit(ov, !out[i]))
+			}
+		}
+		return nil
+	}
+	extractKey := func() ([]bool, bool) {
+		if solver.Solve(cnf.MkLit(act, true)) != sat.Sat {
+			return nil, false
+		}
+		k := make([]bool, len(keyPos))
+		for i, v := range key1 {
+			k[i] = solver.Model()[v]
+		}
+		return k, true
+	}
+
+	for round := 0; round < opt.MaxRounds; round++ {
+		res.Rounds = round + 1
+		converged := false
+		for d := 0; d < opt.DIPsPerRound; d++ {
+			st := solver.Solve(cnf.MkLit(act, false))
+			if st == sat.Unknown {
+				res.Status = Timeout
+				res.Elapsed = time.Since(start)
+				return res, nil
+			}
+			if st == sat.Unsat {
+				converged = true
+				break
+			}
+			dip := make([]bool, len(funcPos))
+			for i, p := range funcPos {
+				dip[i] = solver.ModelValue(cnf.MkLit(copy1.Inputs[p], false))
+			}
+			out := oracle.Query(dip)
+			res.DIPs++
+			if err := addConstraint(dip, out); err != nil {
+				return nil, err
+			}
+		}
+
+		key, ok := extractKey()
+		if !ok {
+			res.Status = Failed
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+
+		if converged {
+			res.Status = KeyFound
+			res.Key = key
+			res.ErrorEstimate = 0
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+
+		// Random-query reinforcement and error estimation.
+		bound, err := locked.BindInputs(keyPos, key)
+		if err != nil {
+			return nil, err
+		}
+		candSim, err := netlist.NewSimulator(bound)
+		if err != nil {
+			return nil, err
+		}
+		wrong := 0
+		for q := 0; q < opt.RandomQueries; q++ {
+			in := make([]bool, len(funcPos))
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			want := oracle.Query(in)
+			got := candSim.Eval(in)
+			mismatch := false
+			for i := range want {
+				if want[i] != got[i] {
+					mismatch = true
+					break
+				}
+			}
+			if mismatch {
+				wrong++
+				if err := addConstraint(in, want); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.ErrorEstimate = float64(wrong) / float64(opt.RandomQueries)
+		if res.ErrorEstimate <= opt.ErrorThreshold {
+			res.Status = KeyFound
+			res.Key = key
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+	}
+	res.Status = Timeout
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSATAttackAgainstMorphingOracle reproduces the paper's strongest
+// dynamic-obfuscation claim: when the device morphs between oracle
+// queries, the DIP constraints the SAT attack accumulates refer to
+// different configurations and become mutually inconsistent — the
+// attack terminates without a usable key.
+func TestSATAttackAgainstMorphingOracle(t *testing.T) {
+	orig := smallCircuit(t, 150, 31)
+	res, err := core.Lock(orig, core.Options{
+		Blocks: 1, Size: core.Size8x8, Seed: 33, ScanEnable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := core.NewDynamicOracle(res, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := SATAttack(res.Locked, res.KeyInputPos, dyn, SATOptions{Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Epochs() == 0 {
+		t.Skip("attack converged before the first morph epoch")
+	}
+	if ar.Status == KeyFound {
+		// If the attack claims a key despite the morphing, it must be
+		// wrong for the functional circuit.
+		fBound, err := res.ApplyKey(res.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		funcOracle, err := NewSimOracle(fBound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := VerifyKey(res.Locked, res.KeyInputPos, ar.Key, funcOracle, 8, 34)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e == 0 {
+			t.Fatalf("SAT attack recovered a correct key through a morphing oracle (epochs=%d)", dyn.Epochs())
+		}
+		t.Logf("attack converged to a functionally wrong key (err %.3f) across %d epochs", e, dyn.Epochs())
+	} else {
+		t.Logf("attack %v after %d DIPs across %d morph epochs", ar.Status, ar.Iterations, dyn.Epochs())
+	}
+}
+
+func TestDynamicOracleRequiresScanEnable(t *testing.T) {
+	orig := smallCircuit(t, 100, 35)
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size2x2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewDynamicOracle(res, 4, 1); err == nil {
+		t.Error("dynamic oracle without scan enable accepted")
+	}
+}
+
+func TestDynamicOracleFunctionalInvariance(t *testing.T) {
+	// Functional-mode behaviour (what the end user sees) must be
+	// identical across epochs even while scan responses drift.
+	orig := smallCircuit(t, 150, 36)
+	res, err := core.Lock(orig, core.Options{
+		Blocks: 1, Size: core.Size8x8x8, Seed: 37, ScanEnable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := core.NewDynamicOracle(res, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive some queries to force morph epochs.
+	in := make([]bool, dyn.NumInputs())
+	for q := 0; q < 20; q++ {
+		dyn.Query(in)
+	}
+	if dyn.Epochs() == 0 {
+		t.Fatal("no epochs elapsed")
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, cex, err := EquivalentSAT(orig, bound, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("morphing broke functional mode, cex=%v", cex)
+	}
+}

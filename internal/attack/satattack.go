@@ -1,0 +1,268 @@
+package attack
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// bitString renders a bool slice little-endian as '0'/'1' runes.
+func bitString(bits []bool) string {
+	b := make([]byte, len(bits))
+	for i, v := range bits {
+		b[i] = '0'
+		if v {
+			b[i] = '1'
+		}
+	}
+	return string(b)
+}
+
+// Status classifies an attack outcome.
+type Status int
+
+// Attack outcomes.
+const (
+	KeyFound Status = iota // the DIP loop converged and produced a key
+	Timeout                // deadline or budget exhausted (the paper's ∞)
+	Failed                 // attack terminated without a usable key
+)
+
+func (s Status) String() string {
+	switch s {
+	case KeyFound:
+		return "key-found"
+	case Timeout:
+		return "timeout"
+	}
+	return "failed"
+}
+
+// SATOptions tunes the SAT attack.
+type SATOptions struct {
+	// Timeout bounds the whole attack (0 = none). The paper uses 5
+	// days; the benches scale this down and report ∞ on expiry.
+	Timeout time.Duration
+	// MaxIterations bounds the DIP count (0 = unlimited).
+	MaxIterations int
+	// BVA applies bounded variable addition preprocessing to the base
+	// encoding (paper §IV-B pre-processing step).
+	BVA bool
+	// Trace, when non-nil, receives one CSV line per DIP:
+	// iteration,dip-bits,oracle-bits (little-endian bit strings).
+	Trace io.Writer
+}
+
+// SATResult reports a SAT attack run.
+type SATResult struct {
+	Status     Status
+	Key        []bool // recovered key (valid when Status == KeyFound)
+	Iterations int    // number of distinguishing input patterns
+	Elapsed    time.Duration
+	Solver     sat.Stats
+}
+
+func (r *SATResult) String() string {
+	return fmt.Sprintf("%s after %d DIPs in %v (%v)", r.Status, r.Iterations, r.Elapsed.Round(time.Millisecond), r.Solver)
+}
+
+// SATAttack runs the oracle-guided SAT attack of Subramanyan et al.
+// against a locked netlist: it iteratively finds distinguishing input
+// patterns (inputs on which two candidate keys disagree), queries the
+// oracle, and constrains the key space until no DIP remains; any key
+// satisfying the accumulated constraints is then functionally
+// equivalent to the oracle on all tested behaviour.
+//
+// keyPos gives the positions of the key inputs within locked.Inputs.
+// The oracle takes the functional inputs only (in their relative
+// order).
+func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOptions) (*SATResult, error) {
+	start := time.Now()
+	funcPos, err := splitInputs(locked, keyPos)
+	if err != nil {
+		return nil, err
+	}
+	if oracle.NumInputs() != len(funcPos) {
+		return nil, fmt.Errorf("attack: oracle has %d inputs, locked netlist has %d functional inputs",
+			oracle.NumInputs(), len(funcPos))
+	}
+	if oracle.NumOutputs() != len(locked.Outputs) {
+		return nil, fmt.Errorf("attack: oracle output arity mismatch")
+	}
+
+	// Base encoding: two copies sharing functional inputs, separate keys.
+	enc := cnf.NewEncoder()
+	copy1, err := enc.Encode(locked, nil)
+	if err != nil {
+		return nil, err
+	}
+	shared := make(map[int]cnf.Var, len(funcPos))
+	for _, p := range funcPos {
+		shared[p] = copy1.Inputs[p]
+	}
+	copy2, err := enc.Encode(locked, shared)
+	if err != nil {
+		return nil, err
+	}
+
+	// Miter: at least one output differs, gated by an activation var so
+	// the same solver can later extract a key without the difference
+	// constraint.
+	diffs := make([]cnf.Lit, len(locked.Outputs))
+	for i := range locked.Outputs {
+		diffs[i] = cnf.MkLit(enc.EncodeXor2(
+			cnf.MkLit(copy1.Outputs[i], false),
+			cnf.MkLit(copy2.Outputs[i], false)), false)
+	}
+	act := enc.F.NewVar()
+	miter := append(append([]cnf.Lit(nil), diffs...), cnf.MkLit(act, true))
+	enc.F.AddClause(miter...)
+
+	if opt.BVA {
+		cnf.BVA(enc.F, 4, 32)
+	}
+
+	solver := sat.New()
+	if !solver.AddFormula(enc.F) {
+		return nil, fmt.Errorf("attack: base encoding unsatisfiable")
+	}
+	var deadline time.Time
+	if opt.Timeout > 0 {
+		deadline = start.Add(opt.Timeout)
+		solver.SetDeadline(deadline)
+	}
+
+	key1 := make([]cnf.Var, len(keyPos))
+	key2 := make([]cnf.Var, len(keyPos))
+	for i, p := range keyPos {
+		key1[i] = copy1.Inputs[p]
+		key2[i] = copy2.Inputs[p]
+	}
+
+	res := &SATResult{}
+	assumeDiff := cnf.MkLit(act, false)
+	for {
+		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
+			res.Status = Timeout
+			break
+		}
+		st := solver.Solve(assumeDiff)
+		if st == sat.Unknown {
+			res.Status = Timeout
+			break
+		}
+		if st == sat.Unsat {
+			// Converged: extract any key consistent with all DIPs.
+			st = solver.Solve(cnf.MkLit(act, true))
+			if st != sat.Sat {
+				res.Status = Failed
+				res.Elapsed = time.Since(start)
+				res.Solver = solver.Stats()
+				return res, nil
+			}
+			res.Key = make([]bool, len(keyPos))
+			for i, v := range key1 {
+				res.Key[i] = solver.Model()[v]
+			}
+			res.Status = KeyFound
+			break
+		}
+
+		// DIP found: read the functional inputs from the model.
+		dip := make([]bool, len(funcPos))
+		for i, p := range funcPos {
+			dip[i] = solver.ModelValue(cnf.MkLit(copy1.Inputs[p], false))
+		}
+		out := oracle.Query(dip)
+		res.Iterations++
+		if opt.Trace != nil {
+			fmt.Fprintf(opt.Trace, "%d,%s,%s\n", res.Iterations, bitString(dip), bitString(out))
+		}
+
+		// Constrain both key copies to reproduce the oracle on the DIP.
+		for _, keyVars := range [][]cnf.Var{key1, key2} {
+			cgv, err := encodeConstrainedCopy(solver, locked, funcPos, keyPos, keyVars, dip)
+			if err != nil {
+				return nil, err
+			}
+			for i, ov := range cgv {
+				solver.AddClause(cnf.MkLit(ov, !out[i]))
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Solver = solver.Stats()
+	return res, nil
+}
+
+// encodeConstrainedCopy adds one circuit copy to the solver with the
+// functional inputs fixed to the DIP and the key pins aliased to the
+// given key variables. It returns the output variables.
+func encodeConstrainedCopy(solver *sat.Solver, locked *netlist.Netlist, funcPos, keyPos []int, keyVars []cnf.Var, dip []bool) ([]cnf.Var, error) {
+	enc := cnf.NewEncoder()
+	enc.F.NumVars = solver.NumVars() // continue the variable space
+	shared := make(map[int]cnf.Var, len(keyPos))
+	for i, p := range keyPos {
+		shared[p] = keyVars[i]
+	}
+	gv, err := enc.Encode(locked, shared)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range funcPos {
+		enc.AssertLit(cnf.MkLit(gv.Inputs[p], !dip[i]))
+	}
+	if !solver.AddFormula(enc.F) {
+		return nil, fmt.Errorf("attack: DIP constraint made formula unsatisfiable")
+	}
+	outs := make([]cnf.Var, len(gv.Outputs))
+	copy(outs, gv.Outputs)
+	return outs, nil
+}
+
+// VerifyKey checks a recovered key against an oracle by random
+// simulation (rounds × 64 patterns) and reports the observed output
+// error rate. A correct key scores 0.
+func VerifyKey(locked *netlist.Netlist, keyPos []int, key []bool, oracle Oracle, rounds int, seed int64) (float64, error) {
+	bound, err := locked.BindInputs(keyPos, key)
+	if err != nil {
+		return 0, err
+	}
+	boundOracle, err := NewSimOracle(bound)
+	if err != nil {
+		return 0, err
+	}
+	return OracleErrorRate(boundOracle, oracle, rounds, seed)
+}
+
+// OracleErrorRate measures the fraction of disagreeing output bits
+// between two oracles over random queries.
+func OracleErrorRate(a, b Oracle, rounds int, seed int64) (float64, error) {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return 0, fmt.Errorf("attack: oracle signature mismatch")
+	}
+	rng := newRand(seed)
+	diff, total := 0, 0
+	in := make([]bool, a.NumInputs())
+	for r := 0; r < rounds*64; r++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa := a.Query(in)
+		ob := b.Query(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				diff++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(diff) / float64(total), nil
+}

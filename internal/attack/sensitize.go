@@ -1,0 +1,289 @@
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// Key-sensitization attack (Yasin et al., the paper's [1]): for each
+// key bit the attacker searches for an input pattern that propagates
+// that bit to a primary output *regardless of the other key bits* —
+// the output value on the oracle then reveals the bit directly, no
+// key-space search needed. Random XOR locking frequently admits such
+// patterns; RIL-Blocks interleave every key bit with many others
+// through the MUX lattice, so golden patterns rarely exist.
+
+// SensitizeResult reports a sensitization run.
+type SensitizeResult struct {
+	Resolved   int    // key bits recovered via golden patterns
+	Unresolved int    // key bits with no golden pattern found
+	Key        []bool // recovered values (meaningful where Mask is true)
+	Mask       []bool // which bits were resolved
+	Queries    int    // oracle queries spent
+	Elapsed    time.Duration
+}
+
+func (r *SensitizeResult) String() string {
+	return fmt.Sprintf("sensitization: %d/%d key bits resolved with %d oracle queries in %v",
+		r.Resolved, r.Resolved+r.Unresolved, r.Queries, r.Elapsed.Round(time.Millisecond))
+}
+
+// Sensitize runs the key-sensitization attack. For each key bit i it
+// solves the 2QBF-style query  ∃X ∀K_rest: C(X, ki=0) ≠ C(X, ki=1)
+// with a CEGAR loop (candidate pattern from one solver, countermodel
+// from another); a pattern that survives is golden: one oracle query
+// fixes bit i. perBitBudget bounds the CEGAR iterations per bit.
+func Sensitize(locked *netlist.Netlist, keyPos []int, oracle Oracle, perBitBudget int, timeout time.Duration) (*SensitizeResult, error) {
+	start := time.Now()
+	funcPos, err := splitInputs(locked, keyPos)
+	if err != nil {
+		return nil, err
+	}
+	if oracle.NumInputs() != len(funcPos) {
+		return nil, fmt.Errorf("attack: sensitize: oracle arity mismatch")
+	}
+	res := &SensitizeResult{
+		Key:  make([]bool, len(keyPos)),
+		Mask: make([]bool, len(keyPos)),
+	}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+
+	for bit := range keyPos {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.Unresolved = len(keyPos) - bit + res.Unresolved
+			break
+		}
+		pattern, outIdx, ok, err := goldenPattern(locked, keyPos, funcPos, bit, perBitBudget, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.Unresolved++
+			continue
+		}
+		// Query the oracle once; the observed output reveals the bit.
+		out := oracle.Query(pattern)
+		res.Queries++
+		// Determine which key value reproduces the observation: since
+		// the pattern is golden, the output at outIdx is k ⊕ c for a
+		// fixed polarity; evaluate the locked circuit with ki=0 and an
+		// arbitrary setting of the rest.
+		probe := make([]bool, len(keyPos)) // rest = all zeros, ki = 0
+		v0, err := evalLockedAt(locked, keyPos, funcPos, probe, pattern, outIdx)
+		if err != nil {
+			return nil, err
+		}
+		res.Key[bit] = out[outIdx] != v0 // if oracle differs, ki = 1
+		res.Mask[bit] = true
+		res.Resolved++
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// goldenPattern searches for an input X and output index o such that
+// flipping key bit `bit` flips output o for EVERY assignment of the
+// remaining key bits.
+func goldenPattern(locked *netlist.Netlist, keyPos, funcPos []int, bit, budget int, deadline time.Time) ([]bool, int, bool, error) {
+	// Candidate solver: two copies sharing X and K_rest, ki=0 vs ki=1,
+	// some output differs.
+	enc := cnf.NewEncoder()
+	c1, err := enc.Encode(locked, nil)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	shared := map[int]cnf.Var{}
+	for _, p := range funcPos {
+		shared[p] = c1.Inputs[p]
+	}
+	for j, p := range keyPos {
+		if j != bit {
+			shared[p] = c1.Inputs[p]
+		}
+	}
+	c2, err := enc.Encode(locked, shared)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	enc.AssertLit(cnf.MkLit(c1.Inputs[keyPos[bit]], true))  // ki = 0 in copy 1
+	enc.AssertLit(cnf.MkLit(c2.Inputs[keyPos[bit]], false)) // ki = 1 in copy 2
+	diffVars := make([]cnf.Var, len(locked.Outputs))
+	diffLits := make([]cnf.Lit, len(locked.Outputs))
+	for i := range locked.Outputs {
+		diffVars[i] = enc.EncodeXor2(cnf.MkLit(c1.Outputs[i], false), cnf.MkLit(c2.Outputs[i], false))
+		diffLits[i] = cnf.MkLit(diffVars[i], false)
+	}
+	enc.F.AddClause(diffLits...)
+
+	cand := sat.New()
+	if !cand.AddFormula(enc.F) {
+		return nil, 0, false, nil
+	}
+	if !deadline.IsZero() {
+		cand.SetDeadline(deadline)
+	}
+
+	for iter := 0; iter < budget; iter++ {
+		if cand.Solve() != sat.Sat {
+			return nil, 0, false, nil
+		}
+		pattern := make([]bool, len(funcPos))
+		for i, p := range funcPos {
+			pattern[i] = cand.ModelValue(cnf.MkLit(c1.Inputs[p], false))
+		}
+		outIdx := -1
+		for i, v := range diffVars {
+			if cand.Model()[v] {
+				outIdx = i
+				break
+			}
+		}
+		if outIdx < 0 {
+			return nil, 0, false, nil
+		}
+		// Verify universality in two parts. First: no assignment of the
+		// remaining key bits makes the outputs agree (the bit always
+		// propagates). Second: the ki=0 output value is the SAME for
+		// every K_rest — without value-constancy the oracle observation
+		// cannot be decoded (the bit would leak XOR some other bits).
+		agreeRest, agrees, err := restCountermodel(locked, keyPos, funcPos, bit, pattern, outIdx, deadline)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if !agrees {
+			constant, err := valueConstant(locked, keyPos, funcPos, bit, pattern, outIdx, deadline)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if constant {
+				return pattern, outIdx, true, nil // golden
+			}
+		}
+		// Block this (pattern, outIdx) pair: require a different input
+		// pattern or a different differing output next time. Simplest
+		// complete refinement: forbid the exact input pattern when only
+		// this output differs — conservatively forbid the pattern.
+		blocking := make([]cnf.Lit, 0, len(funcPos))
+		for i, p := range funcPos {
+			blocking = append(blocking, cnf.MkLit(c1.Inputs[p], pattern[i]))
+		}
+		cand.AddClause(blocking...)
+		_ = agreeRest
+	}
+	return nil, 0, false, nil
+}
+
+// restCountermodel checks whether some assignment of the remaining key
+// bits makes output outIdx agree across ki=0/1 on the given pattern.
+func restCountermodel(locked *netlist.Netlist, keyPos, funcPos []int, bit int, pattern []bool, outIdx int, deadline time.Time) ([]bool, bool, error) {
+	enc := cnf.NewEncoder()
+	c1, err := enc.Encode(locked, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	shared := map[int]cnf.Var{}
+	for _, p := range funcPos {
+		shared[p] = c1.Inputs[p]
+	}
+	for j, p := range keyPos {
+		if j != bit {
+			shared[p] = c1.Inputs[p]
+		}
+	}
+	c2, err := enc.Encode(locked, shared)
+	if err != nil {
+		return nil, false, err
+	}
+	for i, p := range funcPos {
+		enc.AssertLit(cnf.MkLit(c1.Inputs[p], !pattern[i]))
+	}
+	enc.AssertLit(cnf.MkLit(c1.Inputs[keyPos[bit]], true))
+	enc.AssertLit(cnf.MkLit(c2.Inputs[keyPos[bit]], false))
+	// Outputs agree at outIdx.
+	x := enc.EncodeXor2(cnf.MkLit(c1.Outputs[outIdx], false), cnf.MkLit(c2.Outputs[outIdx], false))
+	enc.AssertLit(cnf.MkLit(x, true))
+
+	s := sat.New()
+	if !s.AddFormula(enc.F) {
+		return nil, false, nil
+	}
+	if !deadline.IsZero() {
+		s.SetDeadline(deadline)
+	}
+	if s.Solve() != sat.Sat {
+		return nil, false, nil
+	}
+	rest := make([]bool, len(keyPos))
+	for j, p := range keyPos {
+		if j != bit {
+			rest[j] = s.ModelValue(cnf.MkLit(c1.Inputs[p], false))
+		}
+	}
+	return rest, true, nil
+}
+
+// valueConstant checks that C(X, ki=0, K_rest) at outIdx takes the
+// same value for every assignment of the remaining key bits: encode
+// two copies with ki=0 and independent rests, and ask whether the
+// outputs can differ (UNSAT = constant).
+func valueConstant(locked *netlist.Netlist, keyPos, funcPos []int, bit int, pattern []bool, outIdx int, deadline time.Time) (bool, error) {
+	enc := cnf.NewEncoder()
+	c1, err := enc.Encode(locked, nil)
+	if err != nil {
+		return false, err
+	}
+	shared := map[int]cnf.Var{}
+	for _, p := range funcPos {
+		shared[p] = c1.Inputs[p]
+	}
+	c2, err := enc.Encode(locked, shared)
+	if err != nil {
+		return false, err
+	}
+	for i, p := range funcPos {
+		enc.AssertLit(cnf.MkLit(c1.Inputs[p], !pattern[i]))
+	}
+	enc.AssertLit(cnf.MkLit(c1.Inputs[keyPos[bit]], true)) // ki = 0 both copies
+	enc.AssertLit(cnf.MkLit(c2.Inputs[keyPos[bit]], true))
+	x := enc.EncodeXor2(cnf.MkLit(c1.Outputs[outIdx], false), cnf.MkLit(c2.Outputs[outIdx], false))
+	enc.AssertLit(cnf.MkLit(x, false)) // outputs differ
+
+	s := sat.New()
+	if !s.AddFormula(enc.F) {
+		return true, nil
+	}
+	if !deadline.IsZero() {
+		s.SetDeadline(deadline)
+	}
+	switch s.Solve() {
+	case sat.Unsat:
+		return true, nil
+	case sat.Sat:
+		return false, nil
+	}
+	return false, nil // timeout: cannot certify, treat as non-golden
+}
+
+// evalLockedAt simulates the locked netlist on (key, pattern) and
+// returns output outIdx.
+func evalLockedAt(locked *netlist.Netlist, keyPos, funcPos []int, key, pattern []bool, outIdx int) (bool, error) {
+	sim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return false, err
+	}
+	in := make([]bool, len(locked.Inputs))
+	for i, p := range keyPos {
+		in[p] = key[i]
+	}
+	for i, p := range funcPos {
+		in[p] = pattern[i]
+	}
+	return sim.Eval(in)[outIdx], nil
+}

@@ -1,0 +1,90 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func TestSensitizeRecoversIsolatedXORKeys(t *testing.T) {
+	// A key XOR sitting directly on an output wire is trivially
+	// sensitizable: the attack must recover it with one oracle query.
+	nl := netlist.New("iso")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	g := nl.AddGate("g", netlist.And, a, b)
+	keyPos := []int{int(2)}
+	k := nl.AddInput("keyinput0")
+	lockGate := nl.AddGate("klk", netlist.Xor, g, k)
+	nl.MarkOutput(lockGate)
+	// Second, unlocked output keeps the oracle honest.
+	h := nl.AddGate("h", netlist.Or, a, b)
+	nl.MarkOutput(h)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	correct := []bool{false} // XOR with key 0 is transparent
+	oracle := oracleFor(t, nl, keyPos, correct)
+	res, err := Sensitize(nl, keyPos, oracle, 8, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resolved != 1 || !res.Mask[0] {
+		t.Fatalf("expected 1 resolved bit, got %+v", res)
+	}
+	if res.Key[0] != correct[0] {
+		t.Errorf("recovered %v, want %v", res.Key[0], correct[0])
+	}
+	if res.Queries != 1 {
+		t.Errorf("used %d oracle queries, want 1", res.Queries)
+	}
+}
+
+func TestSensitizeOnXORLock(t *testing.T) {
+	// Random XOR locking typically exposes several golden patterns;
+	// every bit the attack claims must be correct.
+	orig := smallCircuit(t, 60, 71)
+	locked, keyPos, key := xorLock(t, orig, 6, 72)
+	oracle := oracleFor(t, locked, keyPos, key)
+	res, err := Sensitize(locked, keyPos, oracle, 16, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keyPos {
+		if res.Mask[i] && res.Key[i] != key[i] {
+			t.Errorf("bit %d resolved wrongly: got %v want %v", i, res.Key[i], key[i])
+		}
+	}
+	t.Logf("%s", res)
+}
+
+func TestSensitizeFailsOnRIL(t *testing.T) {
+	// Every RIL key bit is entangled with the rest through the MUX
+	// lattice: golden patterns must be (nearly) absent, and any bit the
+	// attack does resolve must still be consistent with some correct
+	// key — verify none are resolved to a provably wrong value by
+	// checking the full-key substitution.
+	orig := smallCircuit(t, 150, 73)
+	rl, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := oracleFor(t, rl.Locked, rl.KeyInputPos, rl.Key)
+	res, err := Sensitize(rl.Locked, rl.KeyInputPos, oracle, 4, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s", res)
+	if res.Resolved > rl.KeyBits()/2 {
+		t.Errorf("sensitization resolved %d/%d RIL key bits — blocks should entangle keys",
+			res.Resolved, rl.KeyBits())
+	}
+	// Golden-pattern semantics guarantee correctness of resolved bits
+	// only if a unique consistent key exists; RIL has key symmetry, so
+	// just confirm the attack cannot finish the job.
+	if res.Resolved == rl.KeyBits() {
+		t.Error("sensitization fully recovered an RIL key")
+	}
+}

@@ -1,0 +1,201 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/netlist"
+)
+
+func circ(t *testing.T, gates int, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netlist.Random(netlist.RandomProfile{
+		Name: "b", Inputs: 14, Outputs: 6, Gates: gates, Locality: 0.6,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// lockers enumerates every scheme at a small size.
+func lockers(t *testing.T, orig *netlist.Netlist) map[string]*Locked {
+	t.Helper()
+	out := map[string]*Locked{}
+	add := func(name string, l *Locked, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = l
+	}
+	l, err := XORLock(orig, 10, 1)
+	add("xor", l, err)
+	l, err = SARLock(orig, 8, 2)
+	add("sarlock", l, err)
+	l, err = AntiSAT(orig, 8, 3)
+	add("antisat", l, err)
+	l, err = SFLLHD(orig, 8, 2, 4)
+	add("sfll", l, err)
+	l, err = CASLock(orig, 8, 5)
+	add("caslock", l, err)
+	l, err = LUTLock(orig, 6, 6)
+	add("lut", l, err)
+	l, err = MESOLock(orig, 4, 7)
+	add("meso", l, err)
+	l, err = MESOAsLUT2(orig, 4, 7)
+	add("meso-lut2", l, err)
+	return out
+}
+
+func TestAllSchemesEquivalentUnderCorrectKey(t *testing.T) {
+	orig := circ(t, 120, 1)
+	// Construction self-checks equivalence; verify key bookkeeping.
+	for name, l := range lockers(t, orig) {
+		if len(l.Key) != len(l.KeyPos) {
+			t.Errorf("%s: key bookkeeping inconsistent", name)
+		}
+		if l.KeyBits() == 0 {
+			t.Errorf("%s: empty key", name)
+		}
+		for i, pos := range l.KeyPos {
+			if pos < 0 || pos >= len(l.Netlist.Inputs) {
+				t.Fatalf("%s: key position %d out of range", name, i)
+			}
+		}
+	}
+}
+
+func TestPointFunctionsLowCorruptibility(t *testing.T) {
+	orig := circ(t, 120, 2)
+	sar, err := SARLock(orig, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := XORLock(orig, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongOf := func(l *Locked) []bool {
+		w := append([]bool(nil), l.Key...)
+		for i := range w {
+			w[i] = !w[i]
+		}
+		return w
+	}
+	sarBound, err := sar.Netlist.BindInputs(sar.KeyPos, wrongOf(sar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xorBound, err := xor.Netlist.BindInputs(xor.KeyPos, wrongOf(xor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sarC, err := netlist.OutputCorruptibility(orig, sarBound, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xorC, err := netlist.OutputCorruptibility(orig, xorBound, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The defining contrast: a wrong SARLock key corrupts almost
+	// nothing; a wrong XOR-lock key corrupts heavily.
+	if sarC > 0.01 {
+		t.Errorf("SARLock wrong-key corruptibility %v — should be a point function", sarC)
+	}
+	if xorC < 0.05 {
+		t.Errorf("XOR-lock wrong-key corruptibility %v — should be high", xorC)
+	}
+}
+
+func TestSATAttackIterationContrast(t *testing.T) {
+	// Point functions force many DIPs; random XOR locking falls in few.
+	orig := circ(t, 100, 6)
+	sar, err := SARLock(orig, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xor, err := XORLock(orig, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(l *Locked) *attack.SATResult {
+		bound, err := l.Netlist.BindInputs(l.KeyPos, l.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := attack.NewSimOracle(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := attack.SATAttack(l.Netlist, l.KeyPos, oracle, attack.SATOptions{Timeout: 60 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != attack.KeyFound {
+			t.Fatalf("%s attack did not converge: %v", l.Scheme, res)
+		}
+		if e, _ := attack.VerifyKey(l.Netlist, l.KeyPos, res.Key, oracle, 8, 9); e != 0 {
+			t.Fatalf("%s: recovered key wrong (err %v)", l.Scheme, e)
+		}
+		return res
+	}
+	sarRes := run(sar)
+	xorRes := run(xor)
+	if sarRes.Iterations <= xorRes.Iterations {
+		t.Errorf("SARLock DIPs (%d) should exceed XOR-lock DIPs (%d)",
+			sarRes.Iterations, xorRes.Iterations)
+	}
+	// 8-bit SARLock needs on the order of 2^8 DIPs.
+	if sarRes.Iterations < 100 {
+		t.Errorf("SARLock fell in %d DIPs; expected ~2^8", sarRes.Iterations)
+	}
+}
+
+func TestMESOEncodingLargerThanLUT2(t *testing.T) {
+	orig := circ(t, 120, 9)
+	meso, err := MESOLock(orig, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut2, err := MESOAsLUT2(orig, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same selection, two encodings: the MESO form must be much larger
+	// (8 gates + 7 MUXes vs 3 MUXes per instance).
+	mg := meso.Netlist.NumLogicGates()
+	lg := lut2.Netlist.NumLogicGates()
+	if mg <= lg {
+		t.Errorf("MESO encoding (%d gates) should exceed LUT2 encoding (%d gates)", mg, lg)
+	}
+	if meso.KeyBits() != 15 || lut2.KeyBits() != 20 {
+		t.Errorf("key bits: meso=%d (want 15), lut2=%d (want 20)", meso.KeyBits(), lut2.KeyBits())
+	}
+}
+
+func TestSFLLHDSelfConsistency(t *testing.T) {
+	orig := circ(t, 100, 11)
+	for _, h := range []int{0, 1, 3} {
+		if _, err := SFLLHD(orig, 8, h, 12); err != nil {
+			t.Errorf("SFLL-HD h=%d: %v", h, err)
+		}
+	}
+	if _, err := SFLLHD(orig, 8, 9, 13); err == nil {
+		t.Error("h > keyBits accepted")
+	}
+}
+
+func TestSchemeErrors(t *testing.T) {
+	orig := circ(t, 40, 14)
+	if _, err := XORLock(orig, 0, 1); err == nil {
+		t.Error("XORLock nKeys=0 accepted")
+	}
+	if _, err := SARLock(orig, 100, 1); err == nil {
+		t.Error("SARLock keyBits > inputs accepted")
+	}
+	if _, err := MESOLock(orig, 10000, 1); err == nil {
+		t.Error("MESOLock oversubscription accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// mesoFuncs are the eight functions a MESO polymorphic gate offers
+// (paper §II-B: "LUT of size 2 can emulate all 8 functions that a MESO
+// device can offer").
+var mesoFuncs = []logic.Func2{
+	logic.AND, logic.OR, logic.NAND, logic.NOR,
+	logic.XOR, logic.XNOR, logic.NotA, logic.BufA,
+}
+
+// mesoIndex returns the selector value of a function within the MESO
+// set, or -1.
+func mesoIndex(f logic.Func2) int {
+	for i, g := range mesoFuncs {
+		if g == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// selectReplaceable picks n random 2-input gates whose function is in
+// the MESO set.
+func selectReplaceable(nl *netlist.Netlist, n int, rng *rand.Rand) ([]int, error) {
+	var cands []int
+	for id := range nl.Gates {
+		g := &nl.Gates[id]
+		if len(g.Fanin) != 2 {
+			continue
+		}
+		if f, ok := gateToFunc2(g.Type); ok && mesoIndex(f) >= 0 {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) < n {
+		return nil, fmt.Errorf("baselines: only %d MESO-replaceable gates, need %d", len(cands), n)
+	}
+	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	return cands[:n], nil
+}
+
+func gateToFunc2(t netlist.GateType) (logic.Func2, bool) {
+	switch t {
+	case netlist.And:
+		return logic.AND, true
+	case netlist.Nand:
+		return logic.NAND, true
+	case netlist.Or:
+		return logic.OR, true
+	case netlist.Nor:
+		return logic.NOR, true
+	case netlist.Xor:
+		return logic.XOR, true
+	case netlist.Xnor:
+		return logic.XNOR, true
+	}
+	return 0, false
+}
+
+// MESOLock replaces nGates random gates with the paper's Fig. 1 MESO
+// encoding: the eight candidate functions are instantiated as real
+// gates and a 7-MUX binary select tree driven by 3 key bits picks one.
+// This is the SAT-representation the MESO/dynamic-camouflaging work
+// uses, which the paper shows is needlessly large.
+func MESOLock(orig *netlist.Netlist, nGates int, seed int64) (*Locked, error) {
+	nl := orig.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	l := &Locked{Scheme: "meso", Netlist: nl}
+	sel, err := selectReplaceable(nl, nGates, rng)
+	if err != nil {
+		return nil, err
+	}
+	for gi, id := range sel {
+		g := nl.Gates[id]
+		f, _ := gateToFunc2(g.Type)
+		idx := mesoIndex(f)
+		a, b := g.Fanin[0], g.Fanin[1]
+
+		// Three key bits select among the eight functions.
+		var kids [3]int
+		for bit := 0; bit < 3; bit++ {
+			kids[bit] = l.addKeyInput(nl, idx&(1<<bit) != 0)
+		}
+		// Eight candidate gates.
+		leaves := make([]int, 8)
+		for i, mf := range mesoFuncs {
+			leaves[i] = buildFunc2Gate(nl, fmt.Sprintf("meso%d_f%d", gi, i), mf, a, b)
+		}
+		// 7-MUX select tree (LSB first).
+		for bit := 0; bit < 3; bit++ {
+			next := make([]int, len(leaves)/2)
+			for i := range next {
+				next[i] = nl.AddGate(nl.FreshName(fmt.Sprintf("meso%d_m%d_%d", gi, bit, i)),
+					netlist.Mux, kids[bit], leaves[2*i], leaves[2*i+1])
+			}
+			leaves = next
+		}
+		nl.RedirectFanout(id, leaves[0])
+	}
+	nl.Prune()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}
+
+// buildFunc2Gate lowers one of the sixteen two-input functions to
+// primitive gates on wires (a, b).
+func buildFunc2Gate(nl *netlist.Netlist, prefix string, f logic.Func2, a, b int) int {
+	name := nl.FreshName(prefix)
+	switch f {
+	case logic.AND:
+		return nl.AddGate(name, netlist.And, a, b)
+	case logic.OR:
+		return nl.AddGate(name, netlist.Or, a, b)
+	case logic.NAND:
+		return nl.AddGate(name, netlist.Nand, a, b)
+	case logic.NOR:
+		return nl.AddGate(name, netlist.Nor, a, b)
+	case logic.XOR:
+		return nl.AddGate(name, netlist.Xor, a, b)
+	case logic.XNOR:
+		return nl.AddGate(name, netlist.Xnor, a, b)
+	case logic.NotA:
+		return nl.AddGate(name, netlist.Not, a)
+	case logic.BufA:
+		return nl.AddGate(name, netlist.Buf, a)
+	case logic.NotB:
+		return nl.AddGate(name, netlist.Not, b)
+	case logic.BufB:
+		return nl.AddGate(name, netlist.Buf, b)
+	default:
+		panic(fmt.Sprintf("baselines: no primitive lowering for %s", f))
+	}
+}
+
+// MESOAsLUT2 replaces the same gates (same seed and selection) with the
+// paper's compact Fig. 1 re-encoding: a 2-input LUT of three MUXes
+// whose four leaf key bits are the truth table. The key space grows
+// from 8 to 16 functions, yet SAT solves it faster — the observation
+// motivating §II-B.
+func MESOAsLUT2(orig *netlist.Netlist, nGates int, seed int64) (*Locked, error) {
+	nl := orig.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	l := &Locked{Scheme: "meso-as-lut2", Netlist: nl}
+	sel, err := selectReplaceable(nl, nGates, rng)
+	if err != nil {
+		return nil, err
+	}
+	for gi, id := range sel {
+		g := nl.Gates[id]
+		f, _ := gateToFunc2(g.Type)
+		a, b := g.Fanin[0], g.Fanin[1]
+		keys := f.Keys() // Table II order K1..K4
+		var kids [4]int
+		for i, v := range keys {
+			kids[i] = l.addKeyInput(nl, v)
+		}
+		// Three-MUX tree: K1=f(1,1) K2=f(1,0) K3=f(0,1) K4=f(0,0).
+		m0 := nl.AddGate(nl.FreshName(fmt.Sprintf("l2_%d_m0", gi)), netlist.Mux, b, kids[3], kids[2])
+		m1 := nl.AddGate(nl.FreshName(fmt.Sprintf("l2_%d_m1", gi)), netlist.Mux, b, kids[1], kids[0])
+		out := nl.AddGate(nl.FreshName(fmt.Sprintf("l2_%d_o", gi)), netlist.Mux, a, m0, m1)
+		nl.RedirectFanout(id, out)
+	}
+	nl.Prune()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}

@@ -1,0 +1,263 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// The one-point-function family: schemes that flip an output only on a
+// tiny, key-dependent set of input patterns. They force the SAT attack
+// through exponentially many DIPs but offer near-zero output
+// corruptibility — the trade-off the paper criticizes (§I, §II-B).
+
+// pickProtected selects the first k primary-input positions as the
+// protected input word (standard in these schemes).
+func pickProtected(nl *netlist.Netlist, k int) ([]int, error) {
+	if k < 1 || k > len(nl.Inputs) {
+		return nil, fmt.Errorf("baselines: protected width %d out of range (circuit has %d inputs)", k, len(nl.Inputs))
+	}
+	ids := make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = nl.Inputs[i]
+	}
+	return ids, nil
+}
+
+// xorIntoOutput XORs signal into output 0 of the netlist.
+func xorIntoOutput(nl *netlist.Netlist, signal int) {
+	out := nl.Outputs[0]
+	g := nl.AddGate(nl.FreshName("flip"), netlist.Xor, out, signal)
+	nl.Outputs[0] = g
+}
+
+// eqWord builds a comparator: AND over XNOR(x_i, y_i).
+func eqWord(nl *netlist.Netlist, prefix string, xs, ys []int) int {
+	terms := make([]int, len(xs))
+	for i := range xs {
+		terms[i] = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_e%d", prefix, i)), netlist.Xnor, xs[i], ys[i])
+	}
+	return andTree(nl, prefix, terms)
+}
+
+func andTree(nl *netlist.Netlist, prefix string, terms []int) int {
+	for len(terms) > 1 {
+		var next []int
+		for i := 0; i+1 < len(terms); i += 2 {
+			next = append(next, nl.AddGate(nl.FreshName(prefix+"_a"), netlist.And, terms[i], terms[i+1]))
+		}
+		if len(terms)%2 == 1 {
+			next = append(next, terms[len(terms)-1])
+		}
+		terms = next
+	}
+	return terms[0]
+}
+
+// SARLock locks the circuit with the SARLock comparator: output 0 is
+// flipped when the protected input word equals the key, masked so the
+// correct key never flips. SAT attacks need ~2^k DIPs; corruptibility
+// is one input pattern per wrong key.
+func SARLock(orig *netlist.Netlist, keyBits int, seed int64) (*Locked, error) {
+	nl := orig.Clone()
+	l := &Locked{Scheme: "sarlock", Netlist: nl}
+	xs, err := pickProtected(nl, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]int, keyBits)
+	kstar := make([]int, keyBits) // constants holding the correct key
+	for i := 0; i < keyBits; i++ {
+		bit := rng.Intn(2) == 1
+		ks[i] = l.addKeyInput(nl, bit)
+		t := netlist.Const0
+		if bit {
+			t = netlist.Const1
+		}
+		kstar[i] = nl.AddGate(nl.FreshName("kstar"), t)
+	}
+	eqXK := eqWord(nl, "sx", xs, ks)
+	eqKK := eqWord(nl, "sk", ks, kstar)
+	mask := nl.AddGate(nl.FreshName("smask"), netlist.Not, eqKK)
+	flip := nl.AddGate(nl.FreshName("sflip"), netlist.And, eqXK, mask)
+	xorIntoOutput(nl, flip)
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}
+
+// AntiSAT adds the Anti-SAT block: Y = g(X⊕K1) ∧ ¬g(X⊕K2) with g an
+// AND tree; Y is XORed into output 0. Any key with K1 = K2 is correct
+// (Y ≡ 0); the generated correct key uses a random common value.
+func AntiSAT(orig *netlist.Netlist, keyBits int, seed int64) (*Locked, error) {
+	nl := orig.Clone()
+	l := &Locked{Scheme: "antisat", Netlist: nl}
+	xs, err := pickProtected(nl, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	common := make([]bool, keyBits)
+	for i := range common {
+		common[i] = rng.Intn(2) == 1
+	}
+	makeHalf := func(name string, invertG bool) int {
+		terms := make([]int, keyBits)
+		for i := 0; i < keyBits; i++ {
+			kid := l.addKeyInput(nl, common[i])
+			terms[i] = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_x%d", name, i)), netlist.Xor, xs[i], kid)
+		}
+		g := andTree(nl, name, terms)
+		if invertG {
+			g = nl.AddGate(nl.FreshName(name+"_n"), netlist.Not, g)
+		}
+		return g
+	}
+	g1 := makeHalf("as1", false)
+	g2 := makeHalf("as2", true)
+	y := nl.AddGate(nl.FreshName("asy"), netlist.And, g1, g2)
+	xorIntoOutput(nl, y)
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}
+
+// SFLLHD implements stripped-functionality logic locking with a
+// Hamming-distance-h restore unit: the stored circuit is functionally
+// stripped on all protected-input patterns at Hamming distance h from
+// the secret word, and the restore unit re-flips exactly those
+// patterns when the key matches.
+func SFLLHD(orig *netlist.Netlist, keyBits, h int, seed int64) (*Locked, error) {
+	if h < 0 || h > keyBits {
+		return nil, fmt.Errorf("baselines: SFLL h=%d out of range", h)
+	}
+	nl := orig.Clone()
+	l := &Locked{Scheme: fmt.Sprintf("sfll-hd%d", h), Netlist: nl}
+	xs, err := pickProtected(nl, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	secret := make([]bool, keyBits)
+	for i := range secret {
+		secret[i] = rng.Intn(2) == 1
+	}
+	// Stripping comparator against the hard-wired secret.
+	kstar := make([]int, keyBits)
+	for i, b := range secret {
+		t := netlist.Const0
+		if b {
+			t = netlist.Const1
+		}
+		kstar[i] = nl.AddGate(nl.FreshName("fstar"), t)
+	}
+	strip := hdEquals(nl, "fs", xs, kstar, h)
+	xorIntoOutput(nl, strip)
+	// Restore unit against the key inputs.
+	ks := make([]int, keyBits)
+	for i, b := range secret {
+		ks[i] = l.addKeyInput(nl, b)
+	}
+	restore := hdEquals(nl, "fr", xs, ks, h)
+	xorIntoOutput(nl, restore)
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}
+
+// hdEquals builds a circuit asserting HammingDistance(xs, ys) == h.
+func hdEquals(nl *netlist.Netlist, prefix string, xs, ys []int, h int) int {
+	diffs := make([]int, len(xs))
+	for i := range xs {
+		diffs[i] = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_d%d", prefix, i)), netlist.Xor, xs[i], ys[i])
+	}
+	count := popcount(nl, prefix, diffs)
+	// Compare the count word against the constant h.
+	var terms []int
+	for i, bitID := range count {
+		want := h&(1<<i) != 0
+		if want {
+			terms = append(terms, bitID)
+		} else {
+			terms = append(terms, nl.AddGate(nl.FreshName(prefix+"_cn"), netlist.Not, bitID))
+		}
+	}
+	return andTree(nl, prefix+"_eq", terms)
+}
+
+// popcount builds a bit-serial adder tree counting the set bits,
+// returning the little-endian count word.
+func popcount(nl *netlist.Netlist, prefix string, bits []int) []int {
+	// Fold one bit at a time into an accumulator (ripple increment).
+	width := 1
+	for 1<<width <= len(bits) {
+		width++
+	}
+	zero := nl.AddGate(nl.FreshName(prefix+"_z"), netlist.Const0)
+	acc := make([]int, width)
+	for i := range acc {
+		acc[i] = zero
+	}
+	for bi, b := range bits {
+		carry := b
+		for i := 0; i < width; i++ {
+			sum := nl.AddGate(nl.FreshName(fmt.Sprintf("%s_s%d_%d", prefix, bi, i)), netlist.Xor, acc[i], carry)
+			newCarry := nl.AddGate(nl.FreshName(fmt.Sprintf("%s_c%d_%d", prefix, bi, i)), netlist.And, acc[i], carry)
+			acc[i] = sum
+			carry = newCarry
+		}
+	}
+	return acc
+}
+
+// CASLock inserts the cascaded AND/OR block of CAS-Lock: a chain of
+// alternating AND/OR gates over (x_i ⊕ k_i) terms, masked so the
+// correct key produces no corruption. Its corruption profile sits
+// between point functions and random locking.
+func CASLock(orig *netlist.Netlist, keyBits int, seed int64) (*Locked, error) {
+	nl := orig.Clone()
+	l := &Locked{Scheme: "caslock", Netlist: nl}
+	xs, err := pickProtected(nl, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ks := make([]int, keyBits)
+	kstar := make([]int, keyBits)
+	for i := 0; i < keyBits; i++ {
+		bit := rng.Intn(2) == 1
+		ks[i] = l.addKeyInput(nl, bit)
+		t := netlist.Const0
+		if bit {
+			t = netlist.Const1
+		}
+		kstar[i] = nl.AddGate(nl.FreshName("ckstar"), t)
+	}
+	cascade := func(prefix string, keys []int) int {
+		cur := nl.AddGate(nl.FreshName(prefix+"_t0"), netlist.Xor, xs[0], keys[0])
+		for i := 1; i < keyBits; i++ {
+			term := nl.AddGate(nl.FreshName(fmt.Sprintf("%s_t%d", prefix, i)), netlist.Xor, xs[i], keys[i])
+			t := netlist.And
+			if i%2 == 1 {
+				t = netlist.Or
+			}
+			cur = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_c%d", prefix, i)), t, cur, term)
+		}
+		return cur
+	}
+	// Corruption = cascade(X,K) ⊕ cascade(X,K*): zero exactly when the
+	// key reproduces the hard-wired cascade (the masked CAS-Lock form).
+	gk := cascade("cas_k", ks)
+	gs := cascade("cas_s", kstar)
+	y := nl.AddGate(nl.FreshName("casy"), netlist.Xor, gk, gs)
+	xorIntoOutput(nl, y)
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return selfCheck(orig, l, seed)
+}

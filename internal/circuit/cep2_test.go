@@ -1,0 +1,146 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestDESSBoxSpotChecks(t *testing.T) {
+	// FIPS 46-3 worked example values: S1(0b011011) = 5.
+	if got := desSBoxLookup(0, 0b011011); got != 5 {
+		t.Errorf("S1(011011) = %d, want 5", got)
+	}
+	if got := desSBoxLookup(0, 0); got != 14 {
+		t.Errorf("S1(000000) = %d, want 14", got)
+	}
+	// Each S-box row is a permutation of 0..15.
+	for s := 0; s < 8; s++ {
+		for row := 0; row < 4; row++ {
+			seen := map[byte]bool{}
+			for col := 0; col < 16; col++ {
+				v := desSBoxes[s][row*16+col]
+				if v > 15 || seen[v] {
+					t.Fatalf("S%d row %d not a permutation", s+1, row)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestDESRoundAgainstReference(t *testing.T) {
+	nl, err := DESRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		var block [64]bool
+		var rkey [48]bool
+		for i := range block {
+			block[i] = rng.Intn(2) == 1
+		}
+		for i := range rkey {
+			rkey[i] = rng.Intn(2) == 1
+		}
+		in := append(append([]bool(nil), block[:]...), rkey[:]...)
+		out := sim.Eval(in)
+		want := DESRoundRef(block, rkey)
+		for i := 0; i < 64; i++ {
+			if out[i] != want[i] {
+				t.Fatalf("trial %d bit %d: got %v want %v", trial, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDESRoundFeistelInvolution(t *testing.T) {
+	// Applying the round twice with swapped halves and the same key
+	// must recover the original block (Feistel property).
+	rng := rand.New(rand.NewSource(7))
+	var block [64]bool
+	var rkey [48]bool
+	for i := range block {
+		block[i] = rng.Intn(2) == 1
+	}
+	for i := range rkey {
+		rkey[i] = rng.Intn(2) == 1
+	}
+	once := DESRoundRef(block, rkey)
+	// Swap halves of the output, apply again, swap again = original.
+	var swapped [64]bool
+	copy(swapped[0:32], once[32:64])
+	copy(swapped[32:64], once[0:32])
+	twice := DESRoundRef(swapped, rkey)
+	var back [64]bool
+	copy(back[0:32], twice[32:64])
+	copy(back[32:64], twice[0:32])
+	if back != block {
+		t.Error("Feistel involution violated")
+	}
+}
+
+func TestFIRAgainstReference(t *testing.T) {
+	coeffs := []int64{3, -1, 7, 2}
+	const width = 12
+	nl, err := FIRFilter(len(coeffs), width, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSimulator(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		samples := make([]uint64, len(coeffs))
+		var in []bool
+		for i := range samples {
+			samples[i] = uint64(rng.Intn(1 << width))
+			in = append(in, Bits(samples[i], width)...)
+		}
+		out := sim.Eval(in)
+		got := Uint64(out)
+		want := FIRFilterRef(width, coeffs, samples)
+		if got != want {
+			t.Fatalf("trial %d: FIR = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestFIRErrors(t *testing.T) {
+	if _, err := FIRFilter(0, 8, nil); err == nil {
+		t.Error("0 taps accepted")
+	}
+	if _, err := FIRFilter(2, 8, []int64{1}); err == nil {
+		t.Error("coefficient count mismatch accepted")
+	}
+	if _, err := FIRFilter(2, 40, []int64{1, 2}); err == nil {
+		t.Error("width 40 accepted")
+	}
+}
+
+func TestDESFIRLockable(t *testing.T) {
+	// The new cores must host RIL-Blocks like the rest of the suite.
+	des, err := DESRound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := des.ComputeStats()
+	if stats.Gates < 500 {
+		t.Errorf("DES round suspiciously small: %v", stats)
+	}
+	fir, err := FIRFilter(4, 8, []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fir.NumLogicGates() < 100 {
+		t.Errorf("FIR suspiciously small: %d gates", fir.NumLogicGates())
+	}
+}

@@ -1,0 +1,135 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Profile describes an ISCAS/ITC-style benchmark target. The published
+// I/O and gate counts come from the standard benchmark documentation;
+// sequential circuits (s*, b*) are listed post scan conversion (flip-
+// flops contribute a pseudo input and a pseudo output each).
+type Profile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int
+	Seed    int64
+}
+
+// ISCASProfiles returns the benchmark suite the paper locks, with the
+// documented circuit sizes.
+func ISCASProfiles() []Profile {
+	return []Profile{
+		// ISCAS-85 c7552: 207 PI, 108 PO, 3512 gates.
+		{Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3512, Seed: 7552},
+		// ISCAS-89 s35932: 35 PI + 1728 DFF, 320 PO; ~16065 gates.
+		{Name: "s35932", Inputs: 1763, Outputs: 2048, Gates: 16065, Seed: 35932},
+		// ISCAS-89 s38584: 38 PI + 1426 DFF, 304 PO; ~19253 gates.
+		{Name: "s38584", Inputs: 1464, Outputs: 1730, Gates: 19253, Seed: 38584},
+		// ITC-99 b15: 36 PI + 449 DFF, 70 PO; ~8900 gates.
+		{Name: "b15", Inputs: 485, Outputs: 519, Gates: 8900, Seed: 15},
+		// ITC-99 b20: 32 PI + 490 DFF, 22 PO; ~20200 gates.
+		{Name: "b20", Inputs: 522, Outputs: 512, Gates: 20200, Seed: 20},
+	}
+}
+
+// ProfileByName looks up a profile from ISCASProfiles.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range ISCASProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Synthesize generates the profile's circuit deterministically. scale
+// in (0,1] shrinks the circuit proportionally (inputs/outputs/gates)
+// for fast tests; 1.0 reproduces the documented size.
+func (p Profile) Synthesize(scale float64) (*netlist.Netlist, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("circuit: scale %v out of (0,1]", scale)
+	}
+	shrink := func(v int) int {
+		s := int(float64(v) * scale)
+		if s < 2 {
+			s = 2
+		}
+		return s
+	}
+	name := p.Name
+	if scale != 1.0 {
+		name = fmt.Sprintf("%s@%.2f", p.Name, scale)
+	}
+	rp := netlist.RandomProfile{
+		Name:     name,
+		Inputs:   shrink(p.Inputs),
+		Outputs:  shrink(p.Outputs),
+		Gates:    shrink(p.Gates),
+		Locality: 0.85,
+		MaxFanin: 4,
+	}
+	if rp.Gates < rp.Outputs {
+		rp.Gates = rp.Outputs * 2
+	}
+	return netlist.Random(rp, p.Seed)
+}
+
+// CEPSuite returns the CEP benchmark circuits at a given scale class.
+// scale "full" builds the full-width cores (AES 4 columns, SHA-256 8
+// rounds, MD5 8 steps, GPS 64 chips, DES round, 8-tap FIR); "small"
+// builds reduced cores for fast tests (AES 1 column, SHA-256 1 round,
+// MD5 1 step, GPS 8 chips, DES round, 4-tap FIR).
+func CEPSuite(scale string) (map[string]*netlist.Netlist, error) {
+	type cfg struct {
+		aesCols, shaRounds, md5Steps, gpsChips int
+		firTaps, firWidth                      int
+	}
+	var c cfg
+	switch scale {
+	case "full":
+		c = cfg{4, 8, 8, 64, 8, 16}
+	case "small":
+		c = cfg{1, 1, 1, 8, 4, 8}
+	default:
+		return nil, fmt.Errorf("circuit: unknown CEP scale %q", scale)
+	}
+	out := make(map[string]*netlist.Netlist, 6)
+	aes, err := AESRound(c.aesCols)
+	if err != nil {
+		return nil, err
+	}
+	out["AES"] = aes
+	sha, err := SHA256Compress(c.shaRounds)
+	if err != nil {
+		return nil, err
+	}
+	out["SHA-256"] = sha
+	md5n, err := MD5Steps(c.md5Steps)
+	if err != nil {
+		return nil, err
+	}
+	out["MD5"] = md5n
+	gps, err := GPSCA(1, c.gpsChips)
+	if err != nil {
+		return nil, err
+	}
+	out["GPS"] = gps
+	des, err := DESRound()
+	if err != nil {
+		return nil, err
+	}
+	out["DES"] = des
+	coeffs := make([]int64, c.firTaps)
+	for i := range coeffs {
+		coeffs[i] = int64(2*i + 1) // odd low-pass-ish taps
+	}
+	fir, err := FIRFilter(c.firTaps, c.firWidth, coeffs)
+	if err != nil {
+		return nil, err
+	}
+	out["FIR"] = fir
+	return out, nil
+}

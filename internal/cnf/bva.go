@@ -1,0 +1,155 @@
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BVAStats reports the effect of a bounded-variable-addition pass.
+type BVAStats struct {
+	Rounds        int
+	VarsAdded     int
+	ClausesBefore int
+	ClausesAfter  int
+}
+
+func (s BVAStats) String() string {
+	return fmt.Sprintf("bva: %d rounds, +%d vars, clauses %d -> %d",
+		s.Rounds, s.VarsAdded, s.ClausesBefore, s.ClausesAfter)
+}
+
+// BVA performs pairwise bounded variable addition, the CNF-reduction
+// preprocessing the paper applies before attacking routing-obfuscated
+// circuits (§IV-B). For any pair of literals (a, b) whose clause sets
+// share k ≥ minMatches common "rest" clauses R_i, the 2k clauses
+// {a∨R_i} ∪ {b∨R_i} are replaced by k+2 clauses {x∨R_i} ∪ {¬x∨a, ¬x∨b}
+// over a fresh variable x. The transformation preserves equivalence
+// over the original variables. Rounds repeat until no profitable pair
+// remains or maxRounds is reached.
+func BVA(f *Formula, minMatches, maxRounds int) BVAStats {
+	if minMatches < 3 {
+		minMatches = 3 // below 3 the rewrite does not shrink the formula
+	}
+	stats := BVAStats{ClausesBefore: len(f.Clauses)}
+	for round := 0; round < maxRounds; round++ {
+		if !bvaRound(f, minMatches) {
+			break
+		}
+		stats.Rounds++
+		stats.VarsAdded++
+	}
+	stats.ClausesAfter = len(f.Clauses)
+	return stats
+}
+
+// restKey canonicalizes a clause-minus-one-literal for hashing.
+func restKey(c []Lit, skip int) string {
+	rest := make([]int, 0, len(c)-1)
+	for i, l := range c {
+		if i == skip {
+			continue
+		}
+		rest = append(rest, int(l))
+	}
+	sort.Ints(rest)
+	var sb strings.Builder
+	for _, v := range rest {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	return sb.String()
+}
+
+func bvaRound(f *Formula, minMatches int) bool {
+	// occurrence: literal -> map[restKey]clauseIndex
+	occ := make(map[Lit]map[string]int)
+	for ci, c := range f.Clauses {
+		if len(c) < 2 {
+			continue
+		}
+		for i, l := range c {
+			m := occ[l]
+			if m == nil {
+				m = make(map[string]int)
+				occ[l] = m
+			}
+			m[restKey(c, i)] = ci
+		}
+	}
+	// Deterministic literal order.
+	lits := make([]Lit, 0, len(occ))
+	for l := range occ {
+		lits = append(lits, l)
+	}
+	sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+
+	bestGain := 0
+	var bestA, bestB Lit
+	var bestRests []string
+	for i := 0; i < len(lits); i++ {
+		a := lits[i]
+		ra := occ[a]
+		if len(ra) < minMatches {
+			continue
+		}
+		for j := i + 1; j < len(lits); j++ {
+			b := lits[j]
+			if a.Var() == b.Var() {
+				continue
+			}
+			rb := occ[b]
+			if len(rb) < minMatches {
+				continue
+			}
+			var common []string
+			for k := range ra {
+				if _, ok := rb[k]; ok {
+					common = append(common, k)
+				}
+			}
+			if len(common) < minMatches {
+				continue
+			}
+			gain := 2*len(common) - (len(common) + 2) // clauses removed - added
+			if gain > bestGain {
+				bestGain = gain
+				bestA, bestB = a, b
+				sort.Strings(common)
+				bestRests = common
+			}
+		}
+	}
+	if bestGain <= 0 {
+		return false
+	}
+
+	// Apply: delete matched clauses, add replacements.
+	x := f.NewVar()
+	del := make(map[int]bool)
+	ra, rb := occ[bestA], occ[bestB]
+	for _, k := range bestRests {
+		ca := f.Clauses[ra[k]]
+		del[ra[k]] = true
+		del[rb[k]] = true
+		// Build x ∨ rest from the clause containing bestA.
+		nc := make([]Lit, 0, len(ca))
+		nc = append(nc, MkLit(x, false))
+		for _, l := range ca {
+			if l != bestA {
+				nc = append(nc, l)
+			}
+		}
+		f.Clauses = append(f.Clauses, nc)
+	}
+	f.Clauses = append(f.Clauses, []Lit{MkLit(x, true), bestA})
+	f.Clauses = append(f.Clauses, []Lit{MkLit(x, true), bestB})
+
+	kept := f.Clauses[:0]
+	for ci, c := range f.Clauses {
+		if !del[ci] {
+			kept = append(kept, c)
+		}
+	}
+	f.Clauses = kept
+	return true
+}

@@ -1,0 +1,155 @@
+// Package core implements the paper's contribution: RIL-Blocks —
+// reconfigurable interconnect and logic blocks combining key-controlled
+// banyan routing networks with 2-input LUTs, plus the Scan-Enable
+// obfuscation mechanism and runtime dynamic morphing.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// banyanStages returns log2(n); n must be a power of two >= 2.
+func banyanStages(n int) (int, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("core: banyan width %d is not a power of two >= 2", n)
+	}
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s, nil
+}
+
+// BanyanSwitchCount returns the number of 2×2 switchboxes in an
+// n-line butterfly/banyan network: (n/2)·log2(n).
+func BanyanSwitchCount(n int) int {
+	s, err := banyanStages(n)
+	if err != nil {
+		return 0
+	}
+	return n / 2 * s
+}
+
+// banyanPairs enumerates the switchboxes of the butterfly network in
+// canonical order: stage 0 pairs lines differing in the most
+// significant bit, the final stage pairs adjacent lines. For each
+// switchbox it yields (stage, low line, high line).
+func banyanPairs(n int, visit func(stage, lo, hi int)) {
+	stages, _ := banyanStages(n)
+	for s := 0; s < stages; s++ {
+		bit := 1 << (stages - 1 - s)
+		for lo := 0; lo < n; lo++ {
+			if lo&bit == 0 {
+				visit(s, lo, lo|bit)
+			}
+		}
+	}
+}
+
+// BanyanPermute simulates the network: keys holds one bit per
+// switchbox in canonical order (true = crossed). The result maps
+// output line j to the input line arriving there.
+func BanyanPermute(n int, keys []bool) ([]int, error) {
+	want := BanyanSwitchCount(n)
+	if len(keys) != want {
+		return nil, fmt.Errorf("core: banyan %d needs %d key bits, got %d", n, want, len(keys))
+	}
+	cur := make([]int, n)
+	for i := range cur {
+		cur[i] = i
+	}
+	k := 0
+	banyanPairs(n, func(_, lo, hi int) {
+		if keys[k] {
+			cur[lo], cur[hi] = cur[hi], cur[lo]
+		}
+		k++
+	})
+	return cur, nil
+}
+
+// RouteBanyan computes switch keys realizing a requested permutation:
+// dest[i] is the output line that input line i must reach. The
+// butterfly is a delta network — each input/output pair has exactly
+// one path — so the settings are forced; ok is false when two values
+// contend for the same switch port (the network is blocking; paper
+// §III-A calls it "almost non-blocking").
+func RouteBanyan(n int, dest []int) (keys []bool, ok bool) {
+	stages, err := banyanStages(n)
+	if err != nil || len(dest) != n {
+		return nil, false
+	}
+	seen := make([]bool, n)
+	for _, d := range dest {
+		if d < 0 || d >= n || seen[d] {
+			return nil, false
+		}
+		seen[d] = true
+	}
+	cur := make([]int, n) // cur[line] = original input index at this line
+	for i := range cur {
+		cur[i] = i
+	}
+	keys = make([]bool, 0, BanyanSwitchCount(n))
+	for s := 0; s < stages; s++ {
+		bit := 1 << (stages - 1 - s)
+		for lo := 0; lo < n; lo++ {
+			if lo&bit != 0 {
+				continue
+			}
+			hi := lo | bit
+			vLo, vHi := cur[lo], cur[hi]
+			loWantsHi := dest[vLo]&bit != 0
+			hiWantsHi := dest[vHi]&bit != 0
+			if loWantsHi == hiWantsHi {
+				return nil, false // both values need the same exit port
+			}
+			cross := loWantsHi // the low value must move to the high line
+			keys = append(keys, cross)
+			if cross {
+				cur[lo], cur[hi] = cur[hi], cur[lo]
+			}
+		}
+	}
+	return keys, true
+}
+
+// BuildBanyanNetwork lowers a key-controlled banyan network to MUX
+// gates in nl: lines holds the gate IDs entering the network, keyIDs
+// one key-input gate ID per switchbox (canonical order). It returns
+// the gate IDs of the output lines. Exported for the routing-only
+// baseline; RIL-Blocks use it internally.
+func BuildBanyanNetwork(nl *netlist.Netlist, prefix string, lines []int, keyIDs []int) ([]int, error) {
+	return buildBanyan(nl, prefix, lines, keyIDs)
+}
+
+// buildBanyan lowers the network to MUX gates in nl. lines holds the
+// gate IDs entering the network; keyIDs holds one key-input gate ID per
+// switchbox (canonical order). It returns the gate IDs of the output
+// lines. Each switchbox is exactly two 2:1 MUXes sharing one key bit —
+// the paper's lightweight switchbox (§III-A: two MUXes, no inverter,
+// unlike FullLock's four).
+func buildBanyan(nl *netlist.Netlist, prefix string, lines []int, keyIDs []int) ([]int, error) {
+	n := len(lines)
+	want := BanyanSwitchCount(n)
+	if len(keyIDs) != want {
+		return nil, fmt.Errorf("core: banyan %d needs %d key inputs, got %d", n, want, len(keyIDs))
+	}
+	cur := append([]int(nil), lines...)
+	k := 0
+	var buildErr error
+	banyanPairs(n, func(stage, lo, hi int) {
+		if buildErr != nil {
+			return
+		}
+		key := keyIDs[k]
+		a, b := cur[lo], cur[hi]
+		// key=0: straight (lo<-a, hi<-b); key=1: crossed.
+		cur[lo] = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_s%d_%d_a", prefix, stage, k)), netlist.Mux, key, a, b)
+		cur[hi] = nl.AddGate(nl.FreshName(fmt.Sprintf("%s_s%d_%d_b", prefix, stage, k)), netlist.Mux, key, b, a)
+		k++
+	})
+	return cur, buildErr
+}

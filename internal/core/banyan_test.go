@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestRouteBanyanIdentity(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		dest := identityPerm(n)
+		keys, ok := RouteBanyan(n, dest)
+		if !ok {
+			t.Fatalf("n=%d: identity not routable", n)
+		}
+		perm, err := BanyanPermute(n, keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range perm {
+			if p != i {
+				t.Fatalf("n=%d: routed identity is not identity: %v", n, perm)
+			}
+		}
+	}
+}
+
+func TestRouteBanyanRealizesRequestedPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 8, 16} {
+		routable := 0
+		const trials = 200
+		for trial := 0; trial < trials; trial++ {
+			dest := rng.Perm(n)
+			keys, ok := RouteBanyan(n, dest)
+			if !ok {
+				continue // banyan is blocking; not every permutation routes
+			}
+			routable++
+			landed, err := BanyanPermute(n, keys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// landed[out] = in must invert dest[in] = out.
+			for out, in := range landed {
+				if dest[in] != out {
+					t.Fatalf("n=%d: dest %v not realized (landed %v)", n, dest, landed)
+				}
+			}
+		}
+		// Only 2^(switches) of the n! permutations route; for n=16 that
+		// fraction (~2e-4) makes random hits unlikely, so assert only
+		// for the smaller widths.
+		if routable == 0 && n <= 8 {
+			t.Errorf("n=%d: no random permutation routable in %d trials", n, trials)
+		}
+		// Self-routable permutations from the network itself must
+		// always route back.
+		for trial := 0; trial < 50; trial++ {
+			keys := randomBits(rng, BanyanSwitchCount(n))
+			landed, _ := BanyanPermute(n, keys)
+			dest := make([]int, n)
+			for out, in := range landed {
+				dest[in] = out
+			}
+			if _, ok := RouteBanyan(n, dest); !ok {
+				t.Fatalf("n=%d: network-generated permutation not routable", n)
+			}
+		}
+	}
+}
+
+func TestRouteBanyanRejectsBadInput(t *testing.T) {
+	if _, ok := RouteBanyan(4, []int{0, 0, 1, 2}); ok {
+		t.Error("non-permutation accepted")
+	}
+	if _, ok := RouteBanyan(4, []int{0, 1, 2}); ok {
+		t.Error("short destination accepted")
+	}
+	if _, ok := RouteBanyan(3, []int{0, 1, 2}); ok {
+		t.Error("non-power-of-two width accepted")
+	}
+}
+
+func TestPlanGateSwapMigratesTables(t *testing.T) {
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "gs", Inputs: 20, Outputs: 10, Gates: 300, Locality: 0.7,
+	}, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lock(orig, Options{Blocks: 1, Size: Size8x8x8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swapped := 0
+	for p1 := 0; p1 < 8; p1++ {
+		for p2 := p1 + 1; p2 < 8; p2++ {
+			inKeys, outKeys, ok := res.planGateSwap(0, p1, p2)
+			if !ok {
+				continue
+			}
+			if err := res.Reconfigure(0, inKeys, outKeys); err != nil {
+				t.Fatalf("planned swap (%d,%d) rejected: %v", p1, p2, err)
+			}
+			swapped++
+			bound, err := res.ApplyKey(res.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, cex, err := netlist.Equivalent(orig, bound, 0, 6, int64(p1*8+p2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Fatalf("gate swap (%d,%d) broke function, cex=%v", p1, p2, cex)
+			}
+		}
+	}
+	if swapped == 0 {
+		t.Error("no gate swap routable on an 8x8x8 block — morphing would be inert")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// DynamicOracle is the activated IC operating in dynamic-obfuscation
+// mode: every epochQueries oracle queries the device morphs — the
+// routing keys and LUT contents reshuffle (function-invariant) and the
+// hidden MTJ_SE bits re-randomize, so the scan-mode responses the
+// attacker collects before and after an epoch boundary are mutually
+// inconsistent. A SAT attack that accumulates DIP constraints across
+// epochs drives itself into an unsatisfiable corner and terminates
+// without a key (the paper's "dynamic morphing thwarts the SAT attack
+// ultimately", §IV-B).
+//
+// It implements the attack package's Oracle interface.
+type DynamicOracle struct {
+	res          *Result
+	epochQueries int
+	seed         int64
+	epoch        int
+	queries      int
+	sim          *netlist.Simulator
+	nIn, nOut    int
+}
+
+// NewDynamicOracle wraps a scan-enabled lock result. epochQueries is
+// the number of oracle queries between morph epochs.
+func NewDynamicOracle(res *Result, epochQueries int, seed int64) (*DynamicOracle, error) {
+	if epochQueries < 1 {
+		return nil, fmt.Errorf("core: epochQueries must be >= 1")
+	}
+	if !res.ScanEnable {
+		return nil, fmt.Errorf("core: dynamic oracle needs ScanEnable (the attacker queries through the scan chain)")
+	}
+	o := &DynamicOracle{res: res, epochQueries: epochQueries, seed: seed}
+	if err := o.rebuild(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func (o *DynamicOracle) rebuild() error {
+	sv, err := o.res.ScanView()
+	if err != nil {
+		return err
+	}
+	bound, err := sv.BindInputs(o.res.KeyInputPos, o.res.Key)
+	if err != nil {
+		return err
+	}
+	sim, err := netlist.NewSimulator(bound)
+	if err != nil {
+		return err
+	}
+	o.sim = sim
+	o.nIn = len(bound.Inputs)
+	o.nOut = len(bound.Outputs)
+	return nil
+}
+
+// Query implements the oracle: scan-mode responses of the current
+// configuration, morphing at epoch boundaries.
+func (o *DynamicOracle) Query(in []bool) []bool {
+	if o.queries > 0 && o.queries%o.epochQueries == 0 {
+		o.epoch++
+		o.res.Morph(o.seed+int64(o.epoch)*7919, 8)
+		if err := o.rebuild(); err != nil {
+			panic(fmt.Sprintf("core: dynamic oracle rebuild: %v", err))
+		}
+	}
+	o.queries++
+	return o.sim.Eval(in)
+}
+
+// NumInputs implements the oracle interface.
+func (o *DynamicOracle) NumInputs() int { return o.nIn }
+
+// NumOutputs implements the oracle interface.
+func (o *DynamicOracle) NumOutputs() int { return o.nOut }
+
+// Queries implements the oracle interface.
+func (o *DynamicOracle) Queries() int { return o.queries }
+
+// Epochs returns how many morph epochs have elapsed.
+func (o *DynamicOracle) Epochs() int { return o.epoch }

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// ExampleLock shows the basic locking flow: build a circuit, insert an
+// RIL-Block, and verify that only the correct key restores it.
+func ExampleLock() {
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "ip", Inputs: 16, Outputs: 8, Gates: 300, Locality: 0.7,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{
+		Blocks: 1,
+		Size:   core.Size8x8x8,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("key bits:", res.KeyBits())
+
+	activated, err := res.ApplyKey(res.Key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eq, _, err := netlist.Equivalent(orig, activated, 12, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct key restores function:", eq)
+	// Output:
+	// key bits: 76
+	// correct key restores function: true
+}
+
+// ExampleBanyanPermute demonstrates the routing network primitive: the
+// all-straight configuration is the identity permutation.
+func ExampleBanyanPermute() {
+	keys := make([]bool, core.BanyanSwitchCount(8))
+	perm, err := core.BanyanPermute(8, keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(perm)
+	// Output:
+	// [0 1 2 3 4 5 6 7]
+}
+
+// ExampleRouteBanyan computes the switch settings realizing a
+// requested permutation by destination-tag routing.
+func ExampleRouteBanyan() {
+	dest := []int{1, 0, 3, 2} // swap neighbours
+	keys, ok := core.RouteBanyan(4, dest)
+	if !ok {
+		log.Fatal("not routable")
+	}
+	perm, _ := core.BanyanPermute(4, keys)
+	fmt.Println(perm)
+	// Output:
+	// [1 0 3 2]
+}
+
+// ExampleTotalOverhead reproduces the §III-A accounting: three 8×8×8
+// blocks cost roughly a third of seventy-five 2×2 blocks.
+func ExampleTotalOverhead() {
+	small := core.TotalOverhead(core.Size2x2, 75)
+	big := core.TotalOverhead(core.Size8x8x8, 3)
+	fmt.Printf("75x2x2: %d transistors\n", small.Transistors)
+	fmt.Printf("3x8x8x8: %d transistors\n", big.Transistors)
+	fmt.Printf("ratio: %.2f\n", float64(small.Transistors)/float64(big.Transistors))
+	// Output:
+	// 75x2x2: 5400 transistors
+	// 3x8x8x8: 1824 transistors
+	// ratio: 2.96
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// M-input LUT locking (plain LUT replacement with wider LUTs). The
+// paper argues twice for scaling the LUT size: §II-B (an M-input LUT
+// offers 2^(2^M) functions, the key-search-space argument of [8]) and
+// §IV-E (the write circuit is shared across cells, so doubling the
+// truth table does not double the periphery — "increasing the LUT size
+// helps to reduce the overhead while increasing SAT-resiliency").
+//
+// A LUT2 absorbs one gate; a LUT-M absorbs a single-output cone of
+// gates with M external inputs, hiding the cone's entire function
+// behind 2^M key bits.
+
+// LUTMResult describes an M-input LUT lock.
+type LUTMResult struct {
+	Locked      *netlist.Netlist
+	Key         []bool
+	KeyInputPos []int
+	M           int
+	Cones       [][]string // absorbed gate names per LUT
+}
+
+// KeyBits returns the key length.
+func (r *LUTMResult) KeyBits() int { return len(r.Key) }
+
+// ApplyKey binds the key.
+func (r *LUTMResult) ApplyKey(key []bool) (*netlist.Netlist, error) {
+	if len(key) != len(r.Key) {
+		return nil, fmt.Errorf("core: key length %d, want %d", len(key), len(r.Key))
+	}
+	return r.Locked.BindInputs(r.KeyInputPos, key)
+}
+
+// LockLUTM replaces nLUTs single-output cones of the circuit with
+// M-input LUTs (m in [2,6]). Each cone is grown greedily from a seed
+// gate by absorbing single-fanout fanin gates until the external input
+// count reaches m.
+func LockLUTM(orig *netlist.Netlist, nLUTs, m int, seed int64) (*LUTMResult, error) {
+	if m < 2 || m > 6 {
+		return nil, fmt.Errorf("core: LUT size m=%d out of [2,6]", m)
+	}
+	if nLUTs < 1 {
+		return nil, fmt.Errorf("core: nLUTs must be >= 1")
+	}
+	nl := orig.Clone()
+	rng := rand.New(rand.NewSource(seed))
+	res := &LUTMResult{Locked: nl, M: m}
+
+	fanouts := nl.FanoutLists()
+	taken := make([]bool, nl.NumGates()) // gates already absorbed
+
+	// Candidate seeds: 2-input basic gates.
+	var seeds []int
+	for id := range nl.Gates {
+		if _, ok := gateFunc2(nl.Gates[id].Type); ok && len(nl.Gates[id].Fanin) == 2 {
+			seeds = append(seeds, id)
+		}
+	}
+	rng.Shuffle(len(seeds), func(i, j int) { seeds[i], seeds[j] = seeds[j], seeds[i] })
+
+	built := 0
+	for _, seedGate := range seeds {
+		if built == nLUTs {
+			break
+		}
+		if taken[seedGate] {
+			continue
+		}
+		cone, inputs, ok := growCone(nl, seedGate, m, taken, fanouts)
+		if !ok {
+			continue
+		}
+		if err := replaceConeWithLUT(nl, res, cone, inputs, rng); err != nil {
+			return nil, err
+		}
+		for _, g := range cone {
+			taken[g] = true
+		}
+		built++
+		// The netlist grew (key inputs + MUX tree): refresh the
+		// structures indexed by gate ID.
+		fanouts = nl.FanoutLists()
+		grown := make([]bool, nl.NumGates())
+		copy(grown, taken)
+		taken = grown
+	}
+	if built < nLUTs {
+		return nil, fmt.Errorf("core: only %d of %d LUT%d cones available", built, nLUTs, m)
+	}
+	nl.Prune()
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		return nil, err
+	}
+	eq, cex, err := netlist.Equivalent(orig, bound, 12, 8, seed^0x1ea5)
+	if err != nil {
+		return nil, err
+	}
+	if !eq {
+		return nil, fmt.Errorf("core: LUT%d lock broke function (cex %v)", m, cex)
+	}
+	return res, nil
+}
+
+// growCone expands from the seed gate toward its fanins, absorbing
+// gates whose only fanout lies inside the cone, until the external
+// input count is exactly m. Returns the cone gate IDs (seed first) and
+// the external input IDs (deterministic order).
+func growCone(nl *netlist.Netlist, seedGate, m int, taken []bool, fanouts [][]int) (cone []int, inputs []int, ok bool) {
+	inCone := map[int]bool{seedGate: true}
+	cone = []int{seedGate}
+	// External inputs: fanins of cone members not in the cone.
+	externals := func() []int {
+		seen := map[int]bool{}
+		var out []int
+		for _, g := range cone {
+			for _, f := range nl.Gates[g].Fanin {
+				if !inCone[f] && !seen[f] {
+					seen[f] = true
+					out = append(out, f)
+				}
+			}
+		}
+		return out
+	}
+	for {
+		ins := externals()
+		if len(ins) == m {
+			return cone, ins, true
+		}
+		if len(ins) > m+2 {
+			return nil, nil, false // grew too wide
+		}
+		// Absorb an external gate that (a) is a basic logic gate,
+		// (b) fans out only into the cone, (c) is not already taken.
+		absorbed := false
+		for _, cand := range ins {
+			g := &nl.Gates[cand]
+			if taken[cand] || g.Type == netlist.Input || g.Type == netlist.Const0 || g.Type == netlist.Const1 {
+				continue
+			}
+			if g.Type == netlist.Mux { // keep cones within plain logic
+				continue
+			}
+			all := true
+			for _, r := range fanouts[cand] {
+				if !inCone[r] {
+					all = false
+					break
+				}
+			}
+			if !all {
+				continue
+			}
+			// Absorbing must not overshoot the input budget too far.
+			inCone[cand] = true
+			cone = append(cone, cand)
+			absorbed = true
+			break
+		}
+		if !absorbed {
+			// Cannot reach exactly m inputs.
+			if len(ins) < m {
+				return nil, nil, false
+			}
+			return nil, nil, false
+		}
+	}
+}
+
+// replaceConeWithLUT computes the cone's truth table and lowers an
+// M-input LUT (complete MUX tree over 2^m key inputs).
+func replaceConeWithLUT(nl *netlist.Netlist, res *LUTMResult, cone, inputs []int, rng *rand.Rand) error {
+	seedGate := cone[0]
+	m := res.M
+
+	// Truth table by simulation of the cone: evaluate the sub-circuit
+	// for each assignment of the external inputs.
+	inCone := map[int]bool{}
+	for _, g := range cone {
+		inCone[g] = true
+	}
+	tt := logic.NewTT(m)
+	val := map[int]bool{}
+	var eval func(id int) bool
+	eval = func(id int) bool {
+		if v, ok := val[id]; ok {
+			return v
+		}
+		g := &nl.Gates[id]
+		var v bool
+		switch g.Type {
+		case netlist.And, netlist.Nand:
+			v = true
+			for _, f := range g.Fanin {
+				v = v && eval(f)
+			}
+			if g.Type == netlist.Nand {
+				v = !v
+			}
+		case netlist.Or, netlist.Nor:
+			v = false
+			for _, f := range g.Fanin {
+				v = v || eval(f)
+			}
+			if g.Type == netlist.Nor {
+				v = !v
+			}
+		case netlist.Xor, netlist.Xnor:
+			v = false
+			for _, f := range g.Fanin {
+				v = v != eval(f)
+			}
+			if g.Type == netlist.Xnor {
+				v = !v
+			}
+		case netlist.Not:
+			v = !eval(g.Fanin[0])
+		case netlist.Buf:
+			v = eval(g.Fanin[0])
+		default:
+			panic(fmt.Sprintf("core: cone contains unsupported gate %s", g.Type))
+		}
+		val[id] = v
+		return v
+	}
+	for row := 0; row < 1<<uint(m); row++ {
+		val = map[int]bool{}
+		for i, id := range inputs {
+			val[id] = row&(1<<uint(i)) != 0
+		}
+		tt.Set(row, eval(seedGate))
+	}
+
+	// Key inputs: one per truth-table row, in row order.
+	keyIDs := make([]int, 1<<uint(m))
+	for row := range keyIDs {
+		name := fmt.Sprintf("keyinput%d", len(res.Key))
+		res.KeyInputPos = append(res.KeyInputPos, len(nl.Inputs))
+		keyIDs[row] = nl.AddInput(name)
+		res.Key = append(res.Key, tt.Get(row))
+	}
+
+	// Complete MUX tree: collapse on inputs[0] (LSB) first.
+	lutIdx := len(res.Cones)
+	leaves := append([]int(nil), keyIDs...)
+	for lvl := 0; lvl < m; lvl++ {
+		next := make([]int, len(leaves)/2)
+		for i := range next {
+			next[i] = nl.AddGate(nl.FreshName(fmt.Sprintf("lutm%d_l%d_%d", lutIdx, lvl, i)),
+				netlist.Mux, inputs[lvl], leaves[2*i], leaves[2*i+1])
+		}
+		leaves = next
+	}
+	nl.RedirectFanout(seedGate, leaves[0])
+
+	names := make([]string, len(cone))
+	for i, g := range cone {
+		names[i] = nl.Gates[g].Name
+	}
+	res.Cones = append(res.Cones, names)
+	_ = rng
+	return nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func lutmCircuit(t *testing.T, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl, err := netlist.Random(netlist.RandomProfile{
+		Name: "lm", Inputs: 20, Outputs: 10, Gates: 400, Locality: 0.7,
+	}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestLockLUTMAllSizes(t *testing.T) {
+	orig := lutmCircuit(t, 81)
+	for _, m := range []int{2, 3, 4} {
+		res, err := LockLUTM(orig, 3, m, 82)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if res.KeyBits() != 3*(1<<uint(m)) {
+			t.Errorf("m=%d: key bits %d, want %d", m, res.KeyBits(), 3*(1<<uint(m)))
+		}
+		if len(res.Cones) != 3 {
+			t.Errorf("m=%d: %d cones", m, len(res.Cones))
+		}
+		// Equivalence under the correct key is self-checked by LockLUTM.
+		// Complementing an entire truth table inverts that LUT's output
+		// on every reachable row; at least two of the three cones must
+		// corrupt the circuit (a random netlist can contain logically
+		// unobservable wires — XOR reconvergence — where any function
+		// is a legal don't-care).
+		corrupting := 0
+		for c := 0; c < 3; c++ {
+			wrong := append([]bool(nil), res.Key...)
+			rows := 1 << uint(m)
+			for i := 0; i < rows; i++ {
+				wrong[c*rows+i] = !wrong[c*rows+i]
+			}
+			bound, err := res.ApplyKey(wrong)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, _, err := netlist.Equivalent(orig, bound, 12, 64, int64(m*8+c))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				corrupting++
+			}
+		}
+		if corrupting < 2 {
+			t.Errorf("m=%d: only %d/3 complemented cones corrupted the circuit", m, corrupting)
+		}
+	}
+}
+
+func TestLockLUTMConesAbsorbMultipleGates(t *testing.T) {
+	orig := lutmCircuit(t, 83)
+	res, err := LockLUTM(orig, 4, 4, 84)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, cone := range res.Cones {
+		if len(cone) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no LUT4 cone absorbed more than one gate — absorption inert")
+	}
+}
+
+func TestLockLUTMErrors(t *testing.T) {
+	orig := lutmCircuit(t, 85)
+	if _, err := LockLUTM(orig, 1, 1, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := LockLUTM(orig, 1, 7, 1); err == nil {
+		t.Error("m=7 accepted")
+	}
+	if _, err := LockLUTM(orig, 0, 2, 1); err == nil {
+		t.Error("0 LUTs accepted")
+	}
+	if _, err := LockLUTM(orig, 10000, 4, 1); err == nil {
+		t.Error("oversubscription accepted")
+	}
+}
+
+func TestLockLUTMDeterministic(t *testing.T) {
+	orig := lutmCircuit(t, 86)
+	a, err := LockLUTM(orig, 2, 3, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LockLUTM(orig, 2, 3, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Key) != len(b.Key) {
+		t.Fatal("nondeterministic key size")
+	}
+	for i := range a.Key {
+		if a.Key[i] != b.Key[i] {
+			t.Fatal("nondeterministic key")
+		}
+	}
+}

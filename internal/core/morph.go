@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+)
+
+// Reconfigure attempts to install new routing keys for block bi and
+// re-derives the LUT contents so that the block's function is
+// unchanged. It fails (leaving the Result untouched) if the new routing
+// does not deliver a consistent fanin pair to every LUT — the banyan
+// network is blocking, so not every key vector is compensable.
+//
+// This is the mechanism behind dynamic morphing: the physical
+// configuration (switch keys + LUT truth tables) changes while the
+// circuit's function is preserved, so key material leaked at time t is
+// useless at time t+1.
+func (r *Result) Reconfigure(bi int, newInKeys, newOutKeys []bool) error {
+	blk := &r.Blocks[bi]
+	k := blk.Size.K
+	if blk.Size.InputRouting {
+		if len(newInKeys) != BanyanSwitchCount(2*k) {
+			return fmt.Errorf("core: block %d wants %d input routing bits, got %d",
+				bi, BanyanSwitchCount(2*k), len(newInKeys))
+		}
+	} else if len(newInKeys) != 0 {
+		return fmt.Errorf("core: block %d has no input routing", bi)
+	}
+	if blk.Size.OutputRouting {
+		if len(newOutKeys) != BanyanSwitchCount(k) {
+			return fmt.Errorf("core: block %d wants %d output routing bits, got %d",
+				bi, BanyanSwitchCount(k), len(newOutKeys))
+		}
+	} else if len(newOutKeys) != 0 {
+		return fmt.Errorf("core: block %d has no output routing", bi)
+	}
+
+	landedIn := identityPerm(2 * k)
+	if blk.Size.InputRouting {
+		var err error
+		landedIn, err = BanyanPermute(2*k, newInKeys)
+		if err != nil {
+			return err
+		}
+	}
+	landedOut := identityPerm(k)
+	if blk.Size.OutputRouting {
+		var err error
+		landedOut, err = BanyanPermute(k, newOutKeys)
+		if err != nil {
+			return err
+		}
+	}
+
+	// Wire name at each input port (recorded at lock time for every
+	// geometry).
+	portWire := func(p int) string { return blk.PortWire[p] }
+
+	// Derive the new LUT contents.
+	newTables := make([]logic.Func2, k)
+	for pos := 0; pos < k; pos++ {
+		l := landedOut[pos]
+		wA := portWire(landedIn[2*l])
+		wB := portWire(landedIn[2*l+1])
+		f := blk.GateFuncs[pos]
+		a, b := blk.FaninA[pos], blk.FaninB[pos]
+		switch {
+		case wA == a && wB == b:
+			newTables[l] = f
+		case wA == b && wB == a:
+			newTables[l] = f.SwapInputs()
+		default:
+			return fmt.Errorf("core: block %d: routing delivers (%s,%s) to LUT %d, gate %q needs (%s,%s)",
+				bi, wA, wB, l, blk.GateNames[pos], a, b)
+		}
+	}
+
+	// Commit.
+	for i, p := range blk.InKeyPos {
+		r.Key[p] = newInKeys[i]
+	}
+	for i, p := range blk.OutKeyPos {
+		r.Key[p] = newOutKeys[i]
+	}
+	for l := 0; l < k; l++ {
+		bits := newTables[l].Keys()
+		for j, p := range blk.LUTKeyPos[l] {
+			r.Key[p] = bits[j]
+		}
+	}
+	return nil
+}
+
+// MorphStats reports what a Morph epoch changed.
+type MorphStats struct {
+	RoutingMoves int // blocks whose switch keys changed
+	SEFlips      int // hidden scan-enable bits flipped
+	KeyBitsDelta int // key bits that differ from before the morph
+}
+
+// Morph performs one dynamic-morphing epoch: for every block it tries
+// random routing-key perturbations (keeping those the LUT layer can
+// compensate) and re-randomizes a subset of the hidden MTJ_SE bits.
+// The circuit's functional behaviour is invariant; the physical key
+// changes. tries bounds the perturbation attempts per block.
+func (r *Result) Morph(seed int64, tries int) MorphStats {
+	rng := rand.New(rand.NewSource(seed))
+	var stats MorphStats
+	before := append([]bool(nil), r.Key...)
+
+	for bi := range r.Blocks {
+		blk := &r.Blocks[bi]
+		k := blk.Size.K
+		moved := false
+		for t := 0; t < tries; t++ {
+			inKeys := currentBits(r.Key, blk.InKeyPos)
+			outKeys := currentBits(r.Key, blk.OutKeyPos)
+			flips := 1 + rng.Intn(3)
+			total := len(inKeys) + len(outKeys)
+			if total == 0 {
+				break
+			}
+			for f := 0; f < flips; f++ {
+				i := rng.Intn(total)
+				if i < len(inKeys) {
+					inKeys[i] = !inKeys[i]
+				} else {
+					outKeys[i-len(inKeys)] = !outKeys[i-len(inKeys)]
+				}
+			}
+			if err := r.Reconfigure(bi, inKeys, outKeys); err == nil {
+				moved = true
+			}
+		}
+		// Constructive gate-swap move (blocks with routing on both
+		// sides): re-route the banyans so two randomly chosen gates
+		// trade LUTs; the truth tables physically migrate between the
+		// LUTs. Destination-tag routing computes the exact switch keys;
+		// the blocking banyan occasionally cannot realize a particular
+		// swap, so a few candidates are tried.
+		if blk.Size.InputRouting && blk.Size.OutputRouting && k >= 2 {
+			for try := 0; try < 8; try++ {
+				p1 := rng.Intn(k)
+				p2 := rng.Intn(k)
+				if p1 == p2 {
+					continue
+				}
+				inKeys, outKeys, ok := r.planGateSwap(bi, p1, p2)
+				if !ok {
+					continue
+				}
+				if err := r.Reconfigure(bi, inKeys, outKeys); err == nil {
+					moved = true
+					break
+				}
+			}
+		}
+		// Guaranteed-valid fallback: swapping a last-stage input switch
+		// only swaps one LUT's pin order, which SwapInputs compensates.
+		if !moved && blk.Size.InputRouting {
+			inKeys := currentBits(r.Key, blk.InKeyPos)
+			outKeys := currentBits(r.Key, blk.OutKeyPos)
+			stages, _ := banyanStages(2 * k)
+			lastStageBase := (stages - 1) * k // (2k/2) switches per stage
+			sw := lastStageBase + rng.Intn(k)
+			inKeys[sw] = !inKeys[sw]
+			if err := r.Reconfigure(bi, inKeys, outKeys); err == nil {
+				moved = true
+			}
+		}
+		if moved {
+			stats.RoutingMoves++
+		}
+	}
+
+	// Re-randomize hidden SE bits: changes the oracle's scan-mode
+	// corruption pattern without touching functional behaviour.
+	if r.ScanEnable {
+		for i := range r.SEBits {
+			if rng.Intn(2) == 1 {
+				r.SEBits[i] = !r.SEBits[i]
+				stats.SEFlips++
+			}
+		}
+	}
+
+	for i := range r.Key {
+		if r.Key[i] != before[i] {
+			stats.KeyBitsDelta++
+		}
+	}
+	return stats
+}
+
+// planGateSwap computes routing keys under which the gates at block
+// output positions p1 and p2 trade LUTs, leaving every other gate's
+// routing destination unchanged. ok is false when the blocking banyan
+// cannot realize the modified permutation.
+func (r *Result) planGateSwap(bi, p1, p2 int) (inKeys, outKeys []bool, ok bool) {
+	blk := &r.Blocks[bi]
+	k := blk.Size.K
+	curIn := currentBits(r.Key, blk.InKeyPos)
+	curOut := currentBits(r.Key, blk.OutKeyPos)
+	landedIn, err := BanyanPermute(2*k, curIn) // line -> port
+	if err != nil {
+		return nil, nil, false
+	}
+	landedOut, err := BanyanPermute(k, curOut) // position -> LUT
+	if err != nil {
+		return nil, nil, false
+	}
+	l1, l2 := landedOut[p1], landedOut[p2]
+	if l1 == l2 {
+		return nil, nil, false
+	}
+
+	// Output banyan: LUT l must reach position destOut[l].
+	destOut := make([]int, k)
+	for pos := 0; pos < k; pos++ {
+		destOut[landedOut[pos]] = pos
+	}
+	destOut[l1], destOut[l2] = destOut[l2], destOut[l1]
+	outKeys, ok = RouteBanyan(k, destOut)
+	if !ok {
+		return nil, nil, false
+	}
+
+	// Input banyan: port q must reach line destIn[q]; the two gates'
+	// fanin pairs trade LUT input lines (pin order preserved).
+	destIn := make([]int, 2*k)
+	for line := 0; line < 2*k; line++ {
+		destIn[landedIn[line]] = line
+	}
+	destIn[landedIn[2*l1]] = 2 * l2
+	destIn[landedIn[2*l1+1]] = 2*l2 + 1
+	destIn[landedIn[2*l2]] = 2 * l1
+	destIn[landedIn[2*l2+1]] = 2*l1 + 1
+	inKeys, ok = RouteBanyan(2*k, destIn)
+	if !ok {
+		return nil, nil, false
+	}
+	return inKeys, outKeys, true
+}
+
+func currentBits(key []bool, pos []int) []bool {
+	out := make([]bool, len(pos))
+	for i, p := range pos {
+		out[i] = key[p]
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package core
+
+import "fmt"
+
+// Overhead models the implementation cost of RIL-Block obfuscation
+// using the paper's device accounting (§IV-E): a 2-input MRAM-based
+// LUT needs 32 MOS transistors plus 2 complementary MTJs per memory
+// cell (4 data cells + 1 scan-enable cell = 10 MTJs); the SRAM
+// equivalent needs 24 transistors per memory cell. A 2:1 MUX costs 4
+// transistors (transmission-gate implementation), so one switchbox is
+// 8 transistors.
+type Overhead struct {
+	Blocks      int
+	KeyBits     int
+	LUTs        int
+	Switchboxes int
+	Muxes       int // total 2:1 MUXes (switchboxes ×2 + LUT trees ×3)
+	MTJs        int
+	Transistors int // MOS transistor estimate (MRAM implementation)
+	SRAMEquiv   int // transistor estimate if built with SRAM LUTs
+}
+
+const (
+	lutMOSTransistors  = 32 // paper §IV-E, per 2-input MRAM LUT
+	lutMTJs            = 10 // 4 complementary data cells + 1 SE cell
+	sramCellTransistor = 24 // per memory cell, conventional SRAM LUT
+	sramLUTCells       = 4
+	muxTransistors     = 4
+)
+
+// BlockOverhead returns the cost of a single block of the geometry.
+func BlockOverhead(s Size) Overhead {
+	o := Overhead{Blocks: 1, LUTs: s.K}
+	if s.InputRouting {
+		o.Switchboxes += BanyanSwitchCount(2 * s.K)
+	}
+	if s.OutputRouting {
+		o.Switchboxes += BanyanSwitchCount(s.K)
+	}
+	o.KeyBits = o.Switchboxes + 4*s.K
+	o.Muxes = o.Switchboxes*2 + s.K*3
+	o.MTJs = s.K * lutMTJs
+	o.Transistors = s.K*lutMOSTransistors + o.Switchboxes*2*muxTransistors
+	o.SRAMEquiv = s.K*(sramCellTransistor*sramLUTCells) + o.Switchboxes*2*muxTransistors
+	return o
+}
+
+// TotalOverhead returns the cost of n blocks of the geometry.
+func TotalOverhead(s Size, n int) Overhead {
+	o := BlockOverhead(s)
+	return Overhead{
+		Blocks:      n,
+		KeyBits:     o.KeyBits * n,
+		LUTs:        o.LUTs * n,
+		Switchboxes: o.Switchboxes * n,
+		Muxes:       o.Muxes * n,
+		MTJs:        o.MTJs * n,
+		Transistors: o.Transistors * n,
+		SRAMEquiv:   o.SRAMEquiv * n,
+	}
+}
+
+// Overhead reports the aggregate cost of all blocks in the result.
+func (r *Result) Overhead() Overhead {
+	var total Overhead
+	for _, blk := range r.Blocks {
+		o := BlockOverhead(blk.Size)
+		total.Blocks++
+		total.KeyBits += o.KeyBits
+		total.LUTs += o.LUTs
+		total.Switchboxes += o.Switchboxes
+		total.Muxes += o.Muxes
+		total.MTJs += o.MTJs
+		total.Transistors += o.Transistors
+		total.SRAMEquiv += o.SRAMEquiv
+	}
+	return total
+}
+
+// MRAMLUTArea estimates the device cost of an m-input MRAM LUT:
+// 2^m complementary bit cells (4 access transistors each), a
+// pass-transistor select tree (2 per tree node), and the shared
+// write/sense periphery — which, per §IV-E, does NOT scale with the
+// cell count ("the write circuit does not scale with the increase in
+// the number of LUT inputs"). The m=2 instance reproduces the paper's
+// 32-transistor figure.
+func MRAMLUTArea(m int) (transistors, mtjs int) {
+	cells := 1 << uint(m)
+	transistors = 4*cells + 2*(cells-1) + 10
+	mtjs = 2*cells + 2 // complementary data cells + SE cell
+	return transistors, mtjs
+}
+
+func (o Overhead) String() string {
+	return fmt.Sprintf("%d block(s): %d key bits, %d LUTs, %d switchboxes, %d MUXes, %d MTJs, ~%d transistors (SRAM equiv ~%d)",
+		o.Blocks, o.KeyBits, o.LUTs, o.Switchboxes, o.Muxes, o.MTJs, o.Transistors, o.SRAMEquiv)
+}

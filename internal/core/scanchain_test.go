@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func lockForChain(t *testing.T) *Result {
+	t.Helper()
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "sc", Inputs: 16, Outputs: 8, Gates: 250, Locality: 0.7,
+	}, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lock(orig, Options{Blocks: 1, Size: Size8x8, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestKeyChainHoldsKey(t *testing.T) {
+	res := lockForChain(t)
+	chain := NewKeyChain(res)
+	if chain.Len() != res.KeyBits() {
+		t.Fatalf("chain length %d, key bits %d", chain.Len(), res.KeyBits())
+	}
+	vals := chain.Values()
+	for i, v := range vals {
+		if v != res.Key[i] {
+			t.Fatalf("cell %d holds %v, key bit is %v", i, v, res.Key[i])
+		}
+	}
+}
+
+func TestKeyChainScanOutGated(t *testing.T) {
+	res := lockForChain(t)
+	chain := NewKeyChain(res)
+	leak := chain.ShiftOut(chain.Len())
+	for i, b := range leak {
+		if b {
+			t.Fatalf("gated scan-out leaked a 1 at position %d", i)
+		}
+	}
+}
+
+func TestFunctionalChainObservable(t *testing.T) {
+	chain := NewFunctionalChain("f", 8)
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	chain.ShiftIn(pattern)
+	out := chain.ShiftOut(8)
+	// First bit shifted in is deepest, so it exits first.
+	for i := range pattern {
+		if out[i] != pattern[i] {
+			t.Fatalf("functional chain out[%d] = %v, want %v (out=%v)", i, out[i], pattern[i], out)
+		}
+	}
+}
+
+func TestShiftInOrdering(t *testing.T) {
+	chain := NewFunctionalChain("f", 3)
+	chain.ShiftIn([]bool{true, false, true})
+	vals := chain.Values()
+	// cells[0] holds the most recent bit.
+	want := []bool{true, false, true} // last in at 0, first in at 2
+	if vals[0] != want[0] || vals[1] != want[1] || vals[2] != want[2] {
+		t.Fatalf("chain state %v", vals)
+	}
+}
+
+func TestShiftAndScanAttackDefeated(t *testing.T) {
+	res := lockForChain(t)
+	learned, err := ShiftAndScanAttack(res, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if learned > 0 {
+		t.Errorf("shift-and-scan attacker learned %d key bits beyond guessing", learned)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TRNG models the on-chip true-random-number generator that drives
+// runtime morphing (the paper discusses TRNG-controlled dynamic
+// morphing following [9]). The hardware entropy source is simulated as
+// a jittery ring-oscillator sampler; the implementation is a
+// deterministic xorshift whitened stream seeded per device, plus the
+// standard online health tests (NIST SP 800-90B-style repetition and
+// adaptive-proportion checks) a real integration would run before
+// trusting the entropy.
+type TRNG struct {
+	state uint64
+	// health-test state
+	lastBit    bool
+	runLength  int
+	windowOnes int
+	windowLen  int
+	healthy    bool
+	bitsDrawn  int
+}
+
+// NewTRNG seeds a device instance. A zero seed is remapped (xorshift
+// has a fixed point at zero).
+func NewTRNG(seed uint64) *TRNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &TRNG{state: seed, healthy: true}
+}
+
+// Bit draws one whitened bit and updates the health tests.
+func (t *TRNG) Bit() bool {
+	// xorshift64* generator.
+	t.state ^= t.state >> 12
+	t.state ^= t.state << 25
+	t.state ^= t.state >> 27
+	b := (t.state*0x2545F4914F6CDD1D)>>63 == 1
+
+	// Repetition count test: a stuck source repeats one value.
+	if t.bitsDrawn > 0 && b == t.lastBit {
+		t.runLength++
+		if t.runLength >= 32 {
+			t.healthy = false
+		}
+	} else {
+		t.runLength = 1
+	}
+	t.lastBit = b
+	// Adaptive proportion over a 512-bit window.
+	if b {
+		t.windowOnes++
+	}
+	t.windowLen++
+	if t.windowLen == 512 {
+		if t.windowOnes < 160 || t.windowOnes > 352 {
+			t.healthy = false
+		}
+		t.windowLen, t.windowOnes = 0, 0
+	}
+	t.bitsDrawn++
+	return b
+}
+
+// Uint64 draws 64 bits.
+func (t *TRNG) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 64; i++ {
+		if t.Bit() {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// Healthy reports whether the online health tests have passed so far.
+func (t *TRNG) Healthy() bool { return t.healthy }
+
+// BitsDrawn returns the number of bits produced.
+func (t *TRNG) BitsDrawn() int { return t.bitsDrawn }
+
+// MonobitBias measures |P(1) - 0.5| over n fresh bits (an offline
+// sanity statistic; should be ~0 for a healthy source).
+func (t *TRNG) MonobitBias(n int) float64 {
+	ones := 0
+	for i := 0; i < n; i++ {
+		if t.Bit() {
+			ones++
+		}
+	}
+	return math.Abs(float64(ones)/float64(n) - 0.5)
+}
+
+// MorphScheduler drives dynamic morphing from the TRNG: every epoch it
+// draws a seed and applies one Morph pass, refusing to morph if the
+// entropy source fails its health tests (a stuck TRNG must not walk
+// the configuration into a predictable sequence).
+type MorphScheduler struct {
+	res    *Result
+	trng   *TRNG
+	tries  int
+	epochs int
+}
+
+// NewMorphScheduler attaches a scheduler to a lock result.
+func NewMorphScheduler(res *Result, trng *TRNG, triesPerEpoch int) (*MorphScheduler, error) {
+	if triesPerEpoch < 1 {
+		return nil, fmt.Errorf("core: triesPerEpoch must be >= 1")
+	}
+	return &MorphScheduler{res: res, trng: trng, tries: triesPerEpoch}, nil
+}
+
+// Epoch performs one morph epoch. It returns the morph statistics and
+// whether the epoch ran (false when the TRNG is unhealthy).
+func (m *MorphScheduler) Epoch() (MorphStats, bool) {
+	if !m.trng.Healthy() {
+		return MorphStats{}, false
+	}
+	seed := int64(m.trng.Uint64())
+	stats := m.res.Morph(seed, m.tries)
+	m.epochs++
+	return stats, true
+}
+
+// Epochs returns how many epochs have run.
+func (m *MorphScheduler) Epochs() int { return m.epochs }

@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func fullAdder(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("fa")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	cin := n.AddInput("cin")
+	axb := n.AddGate("axb", netlist.Xor, a, b)
+	sum := n.AddGate("sum", netlist.Xor, axb, cin)
+	ab := n.AddGate("ab", netlist.And, a, b)
+	cx := n.AddGate("cx", netlist.And, axb, cin)
+	cout := n.AddGate("cout", netlist.Or, ab, cx)
+	n.MarkOutput(sum)
+	n.MarkOutput(cout)
+	return n
+}
+
+func exhaustivePatterns(n int) [][]bool {
+	out := make([][]bool, 1<<n)
+	for p := range out {
+		row := make([]bool, n)
+		for i := range row {
+			row[i] = p&(1<<i) != 0
+		}
+		out[p] = row
+	}
+	return out
+}
+
+func TestFullAdderFullCoverage(t *testing.T) {
+	nl := fullAdder(t)
+	res, err := CoverageWithPatterns(nl, exhaustivePatterns(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() != 1.0 {
+		t.Errorf("full adder exhaustive coverage %.2f, want 1.0 (%s)", res.Coverage(), res)
+	}
+	if res.Total != 16 { // 8 fault sites x 2 polarities
+		t.Errorf("fault universe %d, want 16", res.Total)
+	}
+}
+
+func TestRedundantFaultUndetectable(t *testing.T) {
+	// y = a OR (a AND NOT a): the AND output is constant 0, so its
+	// SA0 fault can never be detected.
+	n := netlist.New("red")
+	a := n.AddInput("a")
+	na := n.AddGate("na", netlist.Not, a)
+	and := n.AddGate("and", netlist.And, a, na)
+	y := n.AddGate("y", netlist.Or, a, and)
+	n.MarkOutput(y)
+	res, err := CoverageWithPatterns(n, exhaustivePatterns(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage() == 1.0 {
+		t.Error("redundant fault reported detected")
+	}
+	_, _ = and, y
+}
+
+func TestRandomPatternCoverageGrowsWithPatterns(t *testing.T) {
+	nl, err := netlist.Random(netlist.RandomProfile{
+		Name: "f", Inputs: 16, Outputs: 8, Gates: 300, Locality: 0.6,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := RandomPatternCoverage(nl, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RandomPatternCoverage(nl, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Detected < few.Detected {
+		t.Errorf("coverage shrank with more patterns: %s vs %s", few, many)
+	}
+	if many.Coverage() < 0.7 {
+		t.Errorf("512 random patterns cover only %.2f — simulator suspicious", many.Coverage())
+	}
+}
+
+func TestLockedCircuitRemainsTestable(t *testing.T) {
+	// §III-C: with the correct key installed (and the SE contents
+	// known), the locked design is as testable as the original.
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "t", Inputs: 16, Outputs: 8, Gates: 300, Locality: 0.6,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: 10, ScanEnable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origCov, err := RandomPatternCoverage(orig, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockCov, err := RandomPatternCoverage(bound, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lockCov.Coverage() < origCov.Coverage()-0.15 {
+		t.Errorf("locking collapsed coverage: %s -> %s", origCov, lockCov)
+	}
+
+	// Scan-mode view (SE asserted): inversions do not reduce
+	// detectability — the designer de-corrupts responses.
+	sv, err := res.ScanView()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svBound, err := sv.BindInputs(res.KeyInputPos, res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanCov, err := RandomPatternCoverage(svBound, 512, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanCov.Coverage() < lockCov.Coverage()-0.1 {
+		t.Errorf("scan-enable layer collapsed coverage: %s -> %s", lockCov, scanCov)
+	}
+}
+
+func TestEnumerateSkipsConstants(t *testing.T) {
+	n := netlist.New("c")
+	a := n.AddInput("a")
+	c0 := n.AddGate("c0", netlist.Const0)
+	g := n.AddGate("g", netlist.Or, a, c0)
+	n.MarkOutput(g)
+	faults := Enumerate(n)
+	for _, f := range faults {
+		if f.Gate == c0 {
+			t.Error("constant gate enumerated as fault site")
+		}
+	}
+	if len(faults) != 4 { // a, g x 2 polarities
+		t.Errorf("fault count %d, want 4", len(faults))
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Gate: 12, Stuck: true}
+	if f.String() != "12/SA1" {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,305 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseBench reads a netlist in the ISCAS .bench format:
+//
+//	# comment
+//	INPUT(a)
+//	OUTPUT(y)
+//	y = NAND(a, b)
+//	q = DFF(d)
+//
+// DFF gates are scan-converted per the full-scan SAT-attack threat
+// model: each DFF output becomes a pseudo primary input and its data
+// pin becomes a pseudo primary output. Use ParseBenchSeq to retain the
+// flip-flop count for sequential analysis.
+func ParseBench(name string, r io.Reader) (*Netlist, error) {
+	nl, _, err := ParseBenchSeq(name, r)
+	return nl, err
+}
+
+// ParseBenchSeq parses a .bench file and additionally reports the
+// number of DFFs that were scan-converted. The pseudo state inputs are
+// the last nDFF entries of Inputs; the pseudo next-state outputs are
+// the last nDFF entries of Outputs (in matching order), which is
+// exactly the layout the seq package rebuilds sequential circuits from.
+func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
+	type def struct {
+		out  string
+		op   string
+		args []string
+		line int
+	}
+	var (
+		inputs  []string
+		outputs []string
+		defs    []def
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
+			}
+			inputs = append(inputs, arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
+			arg, err := parenArg(line)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
+			}
+			outputs = append(outputs, arg)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, 0, fmt.Errorf("bench %s line %d: expected assignment, got %q", name, lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			lp := strings.Index(rhs, "(")
+			rp := strings.LastIndex(rhs, ")")
+			if lp < 0 || rp < lp {
+				return nil, 0, fmt.Errorf("bench %s line %d: malformed gate %q", name, lineNo, rhs)
+			}
+			op := strings.ToUpper(strings.TrimSpace(rhs[:lp]))
+			var args []string
+			inner := strings.TrimSpace(rhs[lp+1 : rp])
+			if inner != "" {
+				for _, a := range strings.Split(inner, ",") {
+					args = append(args, strings.TrimSpace(a))
+				}
+			}
+			defs = append(defs, def{out: out, op: op, args: args, line: lineNo})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("bench %s: %v", name, err)
+	}
+
+	n := New(name)
+	for _, in := range inputs {
+		n.AddInput(in)
+	}
+	// DFFs first: their outputs become pseudo inputs so that later
+	// gates can reference them.
+	var scanouts []string
+	for _, d := range defs {
+		if d.op == "DFF" {
+			if len(d.args) != 1 {
+				return nil, 0, fmt.Errorf("bench %s line %d: DFF takes 1 argument", name, d.line)
+			}
+			n.AddInput(d.out)
+			scanouts = append(scanouts, d.args[0])
+		}
+	}
+
+	// Multi-pass resolution of combinational definitions: a .bench file
+	// may reference gates defined later.
+	pending := make([]def, 0, len(defs))
+	for _, d := range defs {
+		if d.op != "DFF" {
+			pending = append(pending, d)
+		}
+	}
+	for len(pending) > 0 {
+		progress := false
+		var next []def
+		for _, d := range pending {
+			ids := make([]int, 0, len(d.args))
+			ok := true
+			for _, a := range d.args {
+				id, exists := n.GateID(a)
+				if !exists {
+					ok = false
+					break
+				}
+				ids = append(ids, id)
+			}
+			if !ok {
+				next = append(next, d)
+				continue
+			}
+			t, err := parseGateType(d.op)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, d.line, err)
+			}
+			n.AddGate(d.out, t, ids...)
+			progress = true
+		}
+		if !progress {
+			return nil, 0, fmt.Errorf("bench %s: unresolvable references (cycle or missing gate), first: %q line %d",
+				name, next[0].out, next[0].line)
+		}
+		pending = next
+	}
+
+	for _, o := range outputs {
+		id, ok := n.GateID(o)
+		if !ok {
+			return nil, 0, fmt.Errorf("bench %s: OUTPUT(%s) never defined", name, o)
+		}
+		n.MarkOutput(id)
+	}
+	for _, so := range scanouts {
+		id, ok := n.GateID(so)
+		if !ok {
+			return nil, 0, fmt.Errorf("bench %s: DFF data pin %s never defined", name, so)
+		}
+		n.MarkOutput(id)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return n, len(scanouts), nil
+}
+
+func parenArg(line string) (string, error) {
+	lp := strings.Index(line, "(")
+	rp := strings.LastIndex(line, ")")
+	if lp < 0 || rp < lp {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	arg := strings.TrimSpace(line[lp+1 : rp])
+	if arg == "" {
+		return "", fmt.Errorf("empty declaration %q", line)
+	}
+	return arg, nil
+}
+
+func parseGateType(op string) (GateType, error) {
+	switch op {
+	case "AND":
+		return And, nil
+	case "NAND":
+		return Nand, nil
+	case "OR":
+		return Or, nil
+	case "NOR":
+		return Nor, nil
+	case "XOR":
+		return Xor, nil
+	case "XNOR":
+		return Xnor, nil
+	case "NOT", "INV":
+		return Not, nil
+	case "BUF", "BUFF":
+		return Buf, nil
+	case "MUX":
+		return Mux, nil
+	case "CONST0", "GND":
+		return Const0, nil
+	case "CONST1", "VDD":
+		return Const1, nil
+	}
+	return 0, fmt.Errorf("unknown gate type %q", op)
+}
+
+// WriteBench emits the netlist in .bench format. Gates are written in
+// topological order so the file parses in one pass with standard tools.
+func (n *Netlist) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", n.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n",
+		len(n.Inputs), len(n.Outputs), n.NumLogicGates())
+	for _, id := range n.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[id].Name)
+	}
+	for _, id := range n.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Gates[id].Name)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := &n.Gates[id]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, benchOpName(g.Type), strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+func benchOpName(t GateType) string {
+	switch t {
+	case Not:
+		return "NOT"
+	case Buf:
+		return "BUFF"
+	default:
+		return t.String()
+	}
+}
+
+// Stats summarizes a netlist for reporting.
+type Stats struct {
+	Name      string
+	Inputs    int
+	Outputs   int
+	Gates     int // logic gates, excluding inputs/constants
+	Depth     int
+	TypeCount map[GateType]int
+}
+
+// ComputeStats gathers counts and depth.
+func (n *Netlist) ComputeStats() (Stats, error) {
+	_, depth, err := n.Levels()
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{
+		Name:      n.Name,
+		Inputs:    len(n.Inputs),
+		Outputs:   len(n.Outputs),
+		Gates:     n.NumLogicGates(),
+		Depth:     depth,
+		TypeCount: map[GateType]int{},
+	}
+	for i := range n.Gates {
+		s.TypeCount[n.Gates[i].Type]++
+	}
+	return s, nil
+}
+
+// String renders the stats compactly with gate types sorted by name.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %d in, %d out, %d gates, depth %d",
+		s.Name, s.Inputs, s.Outputs, s.Gates, s.Depth)
+	type kv struct {
+		t GateType
+		c int
+	}
+	var kvs []kv
+	for t, c := range s.TypeCount {
+		if t == Input {
+			continue
+		}
+		kvs = append(kvs, kv{t, c})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].t < kvs[j].t })
+	for _, e := range kvs {
+		fmt.Fprintf(&sb, " %s=%d", e.t, e.c)
+	}
+	return sb.String()
+}

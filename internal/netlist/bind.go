@@ -1,0 +1,44 @@
+package netlist
+
+import "fmt"
+
+// BindInputs returns a copy of the netlist with the primary inputs at
+// the given positions replaced by constants. The bound inputs are
+// removed from the input list (remaining inputs keep their relative
+// order), so the result takes a shorter input vector. Obfuscation code
+// uses this to specialize a locked netlist to a concrete key.
+func (n *Netlist) BindInputs(positions []int, values []bool) (*Netlist, error) {
+	if len(positions) != len(values) {
+		return nil, fmt.Errorf("netlist: BindInputs got %d positions, %d values", len(positions), len(values))
+	}
+	c := n.Clone()
+	bound := make(map[int]bool, len(positions))
+	for i, pos := range positions {
+		if pos < 0 || pos >= len(c.Inputs) {
+			return nil, fmt.Errorf("netlist: BindInputs position %d out of range", pos)
+		}
+		if bound[pos] {
+			return nil, fmt.Errorf("netlist: BindInputs duplicate position %d", pos)
+		}
+		bound[pos] = true
+		id := c.Inputs[pos]
+		t := Const0
+		if values[i] {
+			t = Const1
+		}
+		constID := c.addGate(c.FreshName(c.Gates[id].Name+"_bound"), t, nil)
+		c.RedirectFanout(id, constID)
+	}
+	kept := c.Inputs[:0]
+	for pos, id := range c.Inputs {
+		if !bound[pos] {
+			kept = append(kept, id)
+		}
+	}
+	c.Inputs = kept
+	c.Prune()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

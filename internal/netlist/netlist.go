@@ -1,0 +1,345 @@
+// Package netlist implements a gate-level combinational netlist: the
+// common representation shared by the benchmark synthesizers, the
+// obfuscation transforms, the CNF encoder and the oracle simulator.
+//
+// A Netlist is a DAG of named gates. Primary inputs are gates of type
+// Input with no fanin; any gate may additionally be designated a
+// primary output. Sequential benchmarks are handled by scan conversion
+// (DFF outputs become pseudo primary inputs, DFF data pins become
+// pseudo primary outputs), matching the full-scan threat model used by
+// the SAT-attack literature.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions.
+type GateType uint8
+
+// Gate types. N-ary gates (And..Xnor) accept two or more fanins; Not
+// and Buf take exactly one; Mux takes exactly three (select, a, b) and
+// outputs a when select=0, b when select=1. Input gates take none.
+const (
+	Input GateType = iota
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+	Not
+	Buf
+	Mux
+	Const0
+	Const1
+	numGateTypes
+)
+
+var gateNames = [...]string{
+	Input: "INPUT", And: "AND", Nand: "NAND", Or: "OR", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUF", Mux: "MUX",
+	Const0: "CONST0", Const1: "CONST1",
+}
+
+func (t GateType) String() string {
+	if int(t) < len(gateNames) {
+		return gateNames[t]
+	}
+	return fmt.Sprintf("GateType(%d)", uint8(t))
+}
+
+// ArityOK reports whether n fanins is legal for the gate type.
+func (t GateType) ArityOK(n int) bool {
+	switch t {
+	case Input, Const0, Const1:
+		return n == 0
+	case Not, Buf:
+		return n == 1
+	case Mux:
+		return n == 3
+	default:
+		return n >= 2
+	}
+}
+
+// Gate is one node of the netlist DAG.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int // gate IDs, ordered (order matters for Mux)
+}
+
+// Netlist is a named combinational circuit.
+type Netlist struct {
+	Name    string
+	Gates   []Gate
+	Inputs  []int // gate IDs of primary inputs, in declaration order
+	Outputs []int // gate IDs of primary outputs, in declaration order
+
+	byName map[string]int
+}
+
+// New returns an empty netlist with the given name.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]int)}
+}
+
+// NumGates returns the total number of gates including inputs.
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// NumLogicGates returns the number of gates excluding primary inputs
+// and constants.
+func (n *Netlist) NumLogicGates() int {
+	c := 0
+	for i := range n.Gates {
+		switch n.Gates[i].Type {
+		case Input, Const0, Const1:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// GateID returns the ID of the named gate and whether it exists.
+func (n *Netlist) GateID(name string) (int, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// MustGateID returns the ID of the named gate, panicking if absent.
+func (n *Netlist) MustGateID(name string) int {
+	id, ok := n.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("netlist %q: no gate named %q", n.Name, name))
+	}
+	return id
+}
+
+// AddInput declares a new primary input and returns its gate ID.
+func (n *Netlist) AddInput(name string) int {
+	id := n.addGate(name, Input, nil)
+	n.Inputs = append(n.Inputs, id)
+	return id
+}
+
+// AddGate adds a logic gate and returns its ID. The fanin IDs must
+// already exist; arity is validated.
+func (n *Netlist) AddGate(name string, t GateType, fanin ...int) int {
+	if !t.ArityOK(len(fanin)) {
+		panic(fmt.Sprintf("netlist %q: gate %q type %s cannot take %d fanins",
+			n.Name, name, t, len(fanin)))
+	}
+	for _, f := range fanin {
+		if f < 0 || f >= len(n.Gates) {
+			panic(fmt.Sprintf("netlist %q: gate %q references unknown fanin %d", n.Name, name, f))
+		}
+	}
+	return n.addGate(name, t, fanin)
+}
+
+func (n *Netlist) addGate(name string, t GateType, fanin []int) int {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("netlist %q: duplicate gate name %q", n.Name, name))
+	}
+	id := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{Name: name, Type: t, Fanin: fanin})
+	n.byName[name] = id
+	return id
+}
+
+// MarkOutput designates an existing gate as a primary output.
+func (n *Netlist) MarkOutput(id int) {
+	if id < 0 || id >= len(n.Gates) {
+		panic(fmt.Sprintf("netlist %q: MarkOutput of unknown gate %d", n.Name, id))
+	}
+	n.Outputs = append(n.Outputs, id)
+}
+
+// FreshName returns a gate name with the given prefix that does not
+// collide with any existing gate.
+func (n *Netlist) FreshName(prefix string) string {
+	for i := len(n.Gates); ; i++ {
+		name := fmt.Sprintf("%s_%d", prefix, i)
+		if _, ok := n.byName[name]; !ok {
+			return name
+		}
+	}
+}
+
+// Clone returns a deep copy of the netlist.
+func (n *Netlist) Clone() *Netlist {
+	c := &Netlist{
+		Name:    n.Name,
+		Gates:   make([]Gate, len(n.Gates)),
+		Inputs:  append([]int(nil), n.Inputs...),
+		Outputs: append([]int(nil), n.Outputs...),
+		byName:  make(map[string]int, len(n.byName)),
+	}
+	for i, g := range n.Gates {
+		c.Gates[i] = Gate{Name: g.Name, Type: g.Type, Fanin: append([]int(nil), g.Fanin...)}
+		c.byName[g.Name] = i
+	}
+	return c
+}
+
+// RedirectFanout rewires every gate that reads from oldID to read from
+// newID instead, and transfers primary-output markings. It is the core
+// primitive of gate replacement during obfuscation. The old gate itself
+// is left in place (possibly dangling); call Prune to drop dead logic.
+func (n *Netlist) RedirectFanout(oldID, newID int) {
+	for i := range n.Gates {
+		if i == newID {
+			continue // avoid creating a self-loop on the replacement
+		}
+		fin := n.Gates[i].Fanin
+		for j, f := range fin {
+			if f == oldID {
+				fin[j] = newID
+			}
+		}
+	}
+	for i, o := range n.Outputs {
+		if o == oldID {
+			n.Outputs[i] = newID
+		}
+	}
+}
+
+// SetFanin replaces the fanin list of a gate (arity checked).
+func (n *Netlist) SetFanin(id int, fanin ...int) {
+	g := &n.Gates[id]
+	if !g.Type.ArityOK(len(fanin)) {
+		panic(fmt.Sprintf("netlist %q: gate %q type %s cannot take %d fanins",
+			n.Name, g.Name, g.Type, len(fanin)))
+	}
+	g.Fanin = fanin
+}
+
+// Validate checks structural invariants: unique names, legal arities,
+// existing fanin references, inputs truly of type Input, acyclicity.
+func (n *Netlist) Validate() error {
+	seen := make(map[string]int, len(n.Gates))
+	for i, g := range n.Gates {
+		if j, dup := seen[g.Name]; dup {
+			return fmt.Errorf("netlist %q: gates %d and %d share name %q", n.Name, j, i, g.Name)
+		}
+		seen[g.Name] = i
+		if !g.Type.ArityOK(len(g.Fanin)) {
+			return fmt.Errorf("netlist %q: gate %q (%s) has illegal arity %d", n.Name, g.Name, g.Type, len(g.Fanin))
+		}
+		for _, f := range g.Fanin {
+			if f < 0 || f >= len(n.Gates) {
+				return fmt.Errorf("netlist %q: gate %q references missing fanin %d", n.Name, g.Name, f)
+			}
+		}
+	}
+	for _, id := range n.Inputs {
+		if id < 0 || id >= len(n.Gates) || n.Gates[id].Type != Input {
+			return fmt.Errorf("netlist %q: input list entry %d is not an Input gate", n.Name, id)
+		}
+	}
+	for _, id := range n.Outputs {
+		if id < 0 || id >= len(n.Gates) {
+			return fmt.Errorf("netlist %q: output list references missing gate %d", n.Name, id)
+		}
+	}
+	if _, err := n.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Prune removes gates that cannot reach any primary output, compacting
+// IDs. Primary inputs are always retained (their positions define the
+// input vector layout). It returns the number of gates removed.
+func (n *Netlist) Prune() int {
+	live := make([]bool, len(n.Gates))
+	stack := append([]int(nil), n.Outputs...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if live[id] {
+			continue
+		}
+		live[id] = true
+		stack = append(stack, n.Gates[id].Fanin...)
+	}
+	for _, id := range n.Inputs {
+		live[id] = true
+	}
+	remap := make([]int, len(n.Gates))
+	var kept []Gate
+	for i, g := range n.Gates {
+		if live[i] {
+			remap[i] = len(kept)
+			kept = append(kept, g)
+		} else {
+			remap[i] = -1
+		}
+	}
+	removed := len(n.Gates) - len(kept)
+	if removed == 0 {
+		return 0
+	}
+	n.Gates = kept
+	n.byName = make(map[string]int, len(kept))
+	for i := range n.Gates {
+		g := &n.Gates[i]
+		n.byName[g.Name] = i
+		for j, f := range g.Fanin {
+			g.Fanin[j] = remap[f]
+		}
+	}
+	for i, id := range n.Inputs {
+		n.Inputs[i] = remap[id]
+	}
+	for i, id := range n.Outputs {
+		n.Outputs[i] = remap[id]
+	}
+	return removed
+}
+
+// InputNames returns the primary input names in order.
+func (n *Netlist) InputNames() []string {
+	names := make([]string, len(n.Inputs))
+	for i, id := range n.Inputs {
+		names[i] = n.Gates[id].Name
+	}
+	return names
+}
+
+// OutputNames returns the primary output names in order.
+func (n *Netlist) OutputNames() []string {
+	names := make([]string, len(n.Outputs))
+	for i, id := range n.Outputs {
+		names[i] = n.Gates[id].Name
+	}
+	return names
+}
+
+// InputIndex returns a map from input name to its position in the
+// input vector.
+func (n *Netlist) InputIndex() map[string]int {
+	m := make(map[string]int, len(n.Inputs))
+	for i, id := range n.Inputs {
+		m[n.Gates[id].Name] = i
+	}
+	return m
+}
+
+// GateIDsByPrefix returns the sorted positions (within n.Inputs) of
+// inputs whose names start with the prefix. Used to locate key inputs.
+func (n *Netlist) GateIDsByPrefix(prefix string) []int {
+	var idx []int
+	for i, id := range n.Inputs {
+		name := n.Gates[id].Name
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return idx
+}

@@ -1,0 +1,228 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomProfile parameterizes synthetic circuit generation. The
+// benchmark package layers ISCAS-profile presets on top of this.
+type RandomProfile struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	Gates   int // logic gate count target (achieved within a few %)
+	// Mix gives relative weights of generated gate types. A zero Mix
+	// defaults to an ISCAS-like blend dominated by NAND/NOR.
+	Mix map[GateType]float64
+	// MaxFanin bounds n-ary gate fanin (default 2; ISCAS circuits use
+	// mostly 2-input gates with occasional wide gates).
+	MaxFanin int
+	// Locality biases non-frontier fanin selection toward recently
+	// created gates, producing deep, narrow circuits like real designs
+	// rather than shallow random DAGs. 0 disables the bias.
+	Locality float64
+}
+
+func defaultMix() map[GateType]float64 {
+	return map[GateType]float64{
+		Nand: 0.30, Nor: 0.15, And: 0.18, Or: 0.12,
+		Not: 0.12, Xor: 0.07, Xnor: 0.03, Buf: 0.03,
+	}
+}
+
+// Random generates a pseudo-random combinational netlist matching the
+// profile, deterministically from the seed.
+//
+// The generator maintains a frontier of gates that do not yet drive
+// anything. While the frontier exceeds the output count, new gates
+// preferentially consume frontier gates; leftover frontier gates are
+// merged pairwise at the end. Because only frontier gates lack fanout
+// and every frontier gate becomes (or feeds) a primary output, every
+// generated gate is live — the circuit needs no pruning and matches
+// the requested size.
+func Random(p RandomProfile, seed int64) (*Netlist, error) {
+	if p.Inputs < 1 || p.Outputs < 1 || p.Gates < 2 {
+		return nil, fmt.Errorf("netlist: invalid random profile %+v", p)
+	}
+	mix := p.Mix
+	if len(mix) == 0 {
+		mix = defaultMix()
+	}
+	maxFanin := p.MaxFanin
+	if maxFanin < 2 {
+		maxFanin = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	types := make([]GateType, 0, len(mix))
+	weights := make([]float64, 0, len(mix))
+	total := 0.0
+	for _, t := range []GateType{And, Nand, Or, Nor, Xor, Xnor, Not, Buf} {
+		if w := mix[t]; w > 0 {
+			types = append(types, t)
+			weights = append(weights, w)
+			total += w
+		}
+	}
+	pickType := func() GateType {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			if x < w {
+				return types[i]
+			}
+			x -= w
+		}
+		return types[len(types)-1]
+	}
+
+	n := New(p.Name)
+	frontier := make([]int, 0, p.Inputs+p.Outputs)
+	inFrontier := make(map[int]bool)
+	push := func(id int) {
+		frontier = append(frontier, id)
+		inFrontier[id] = true
+	}
+	popRandom := func() int {
+		i := rng.Intn(len(frontier))
+		id := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		delete(inFrontier, id)
+		return id
+	}
+
+	for i := 0; i < p.Inputs; i++ {
+		push(n.AddInput(fmt.Sprintf("pi%d", i)))
+	}
+
+	pickAny := func(hi int) int {
+		if p.Locality > 0 && rng.Float64() < p.Locality {
+			window := hi / 4
+			if window < p.Inputs {
+				window = p.Inputs
+			}
+			if window > hi {
+				window = hi
+			}
+			return hi - 1 - rng.Intn(window)
+		}
+		return rng.Intn(hi)
+	}
+
+	// Reserve budget for the final pairwise merge of surplus frontier.
+	target := p.Gates
+	for g := 0; g < target; g++ {
+		surplus := len(frontier) - p.Outputs
+		if remaining := target - g; surplus >= remaining {
+			break // leave the rest of the budget to the merge phase
+		}
+		t := pickType()
+		arity := 1
+		switch t {
+		case Not, Buf:
+			arity = 1
+		default:
+			arity = 2
+			if maxFanin > 2 && rng.Float64() < 0.08 {
+				arity = 2 + rng.Intn(maxFanin-1)
+			}
+		}
+		if arity > len(n.Gates) {
+			arity = len(n.Gates)
+		}
+		if arity < 2 && t != Not && t != Buf {
+			t = Buf
+			arity = 1
+		}
+		contains := func(s []int, x int) bool {
+			for _, e := range s {
+				if e == x {
+					return true
+				}
+			}
+			return false
+		}
+		removeFromFrontier := func(f int) {
+			for i, id := range frontier {
+				if id == f {
+					frontier[i] = frontier[len(frontier)-1]
+					frontier = frontier[:len(frontier)-1]
+					delete(inFrontier, f)
+					return
+				}
+			}
+		}
+		fanin := make([]int, 0, arity)
+		for len(fanin) < arity {
+			var f int
+			fromFrontier := false
+			if len(frontier) > p.Outputs && (len(fanin) == 0 || rng.Float64() < 0.4) {
+				f = popRandom()
+				fromFrontier = true
+			} else {
+				f = pickAny(len(n.Gates))
+			}
+			if contains(fanin, f) {
+				if fromFrontier {
+					push(f) // keep it alive; it was not consumed
+				}
+				ok := false
+				for try := 0; try < 8; try++ {
+					f = rng.Intn(len(n.Gates))
+					if !contains(fanin, f) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			if inFrontier[f] {
+				removeFromFrontier(f)
+			}
+			fanin = append(fanin, f)
+		}
+		id := n.AddGate(fmt.Sprintf("g%d", len(n.Gates)-p.Inputs), t, fanin...)
+		push(id)
+	}
+
+	// Merge surplus frontier gates pairwise until it fits the output
+	// count; each merge is a live 2-input gate.
+	for len(frontier) > p.Outputs {
+		a := popRandom()
+		b := popRandom()
+		if a == b {
+			push(a)
+			continue
+		}
+		t := pickType()
+		if t == Not || t == Buf {
+			t = Xor
+		}
+		id := n.AddGate(fmt.Sprintf("g%d", len(n.Gates)-p.Inputs), t, a, b)
+		push(id)
+	}
+
+	// Frontier gates become primary outputs; top up with the deepest
+	// gates if the frontier came up short.
+	chosen := make(map[int]bool, p.Outputs)
+	for _, id := range frontier {
+		chosen[id] = true
+	}
+	for id := len(n.Gates) - 1; id >= 0 && len(chosen) < p.Outputs; id-- {
+		if !chosen[id] {
+			chosen[id] = true
+		}
+	}
+	for id := range n.Gates {
+		if chosen[id] {
+			n.MarkOutput(id)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

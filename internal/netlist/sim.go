@@ -1,0 +1,245 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Simulator evaluates a netlist bit-parallel: each signal is a uint64
+// carrying 64 independent input patterns. Building a Simulator caches
+// the topological order, so repeated evaluation is cheap.
+type Simulator struct {
+	n     *Netlist
+	order []int
+	vals  []uint64
+}
+
+// NewSimulator prepares a simulator for the netlist. It returns an
+// error if the netlist is cyclic.
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	order, err := n.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{n: n, order: order, vals: make([]uint64, len(n.Gates))}, nil
+}
+
+// Run evaluates 64 input patterns at once. in[i] carries the 64 values
+// of primary input i; the result carries the 64 values of each primary
+// output. The returned slice is reused across calls — copy it if you
+// need to retain it.
+func (s *Simulator) Run(in []uint64) []uint64 {
+	if len(in) != len(s.n.Inputs) {
+		panic(fmt.Sprintf("netlist %q: Run got %d input words, want %d",
+			s.n.Name, len(in), len(s.n.Inputs)))
+	}
+	for i, id := range s.n.Inputs {
+		s.vals[id] = in[i]
+	}
+	for _, id := range s.order {
+		g := &s.n.Gates[id]
+		switch g.Type {
+		case Input:
+			// already assigned
+		case Const0:
+			s.vals[id] = 0
+		case Const1:
+			s.vals[id] = ^uint64(0)
+		case Not:
+			s.vals[id] = ^s.vals[g.Fanin[0]]
+		case Buf:
+			s.vals[id] = s.vals[g.Fanin[0]]
+		case And, Nand:
+			v := s.vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v &= s.vals[f]
+			}
+			if g.Type == Nand {
+				v = ^v
+			}
+			s.vals[id] = v
+		case Or, Nor:
+			v := s.vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v |= s.vals[f]
+			}
+			if g.Type == Nor {
+				v = ^v
+			}
+			s.vals[id] = v
+		case Xor, Xnor:
+			v := s.vals[g.Fanin[0]]
+			for _, f := range g.Fanin[1:] {
+				v ^= s.vals[f]
+			}
+			if g.Type == Xnor {
+				v = ^v
+			}
+			s.vals[id] = v
+		case Mux:
+			sel := s.vals[g.Fanin[0]]
+			a := s.vals[g.Fanin[1]]
+			b := s.vals[g.Fanin[2]]
+			s.vals[id] = (a &^ sel) | (b & sel)
+		default:
+			panic(fmt.Sprintf("netlist %q: unsupported gate type %s", s.n.Name, g.Type))
+		}
+	}
+	out := make([]uint64, len(s.n.Outputs))
+	for i, id := range s.n.Outputs {
+		out[i] = s.vals[id]
+	}
+	return out
+}
+
+// Value returns the last simulated word for the given gate ID.
+func (s *Simulator) Value(id int) uint64 { return s.vals[id] }
+
+// Eval evaluates a single Boolean input assignment.
+func (s *Simulator) Eval(in []bool) []bool {
+	words := make([]uint64, len(in))
+	for i, b := range in {
+		if b {
+			words[i] = 1
+		}
+	}
+	outw := s.Run(words)
+	out := make([]bool, len(outw))
+	for i, w := range outw {
+		out[i] = w&1 != 0
+	}
+	return out
+}
+
+// Equivalent checks, by exhaustive simulation when the input count is
+// at most maxExhaustive inputs and by nSamples random 64-pattern rounds
+// otherwise, whether two netlists with identical input/output
+// signatures compute the same function. It reports the first
+// counterexample found, if any. This is a fast pre-filter; tests that
+// need a proof use the SAT-based equivalence check in internal/attack.
+func Equivalent(a, b *Netlist, maxExhaustive, nSamples int, seed int64) (bool, []bool, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false, nil, fmt.Errorf("netlist: signature mismatch %d/%d inputs, %d/%d outputs",
+			len(a.Inputs), len(b.Inputs), len(a.Outputs), len(b.Outputs))
+	}
+	sa, err := NewSimulator(a)
+	if err != nil {
+		return false, nil, err
+	}
+	sb, err := NewSimulator(b)
+	if err != nil {
+		return false, nil, err
+	}
+	ni := len(a.Inputs)
+	if ni <= maxExhaustive && ni < 30 {
+		return exhaustiveEquiv(sa, sb, ni)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, ni)
+	for round := 0; round < nSamples; round++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		oa := append([]uint64(nil), sa.Run(in)...)
+		ob := sb.Run(in)
+		for i := range oa {
+			if d := oa[i] ^ ob[i]; d != 0 {
+				bit := trailingOne(d)
+				cex := make([]bool, ni)
+				for j := range cex {
+					cex[j] = in[j]&(1<<bit) != 0
+				}
+				return false, cex, nil
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+func exhaustiveEquiv(sa, sb *Simulator, ni int) (bool, []bool, error) {
+	total := 1 << ni
+	in := make([]uint64, ni)
+	for base := 0; base < total; base += 64 {
+		for i := range in {
+			var w uint64
+			for bit := 0; bit < 64 && base+bit < total; bit++ {
+				if (base+bit)&(1<<i) != 0 {
+					w |= 1 << bit
+				}
+			}
+			in[i] = w
+		}
+		valid := uint64(^uint64(0))
+		if total-base < 64 {
+			valid = (1 << uint(total-base)) - 1
+		}
+		oa := append([]uint64(nil), sa.Run(in)...)
+		ob := sb.Run(in)
+		for i := range oa {
+			if d := (oa[i] ^ ob[i]) & valid; d != 0 {
+				bit := trailingOne(d)
+				pat := base + bit
+				cex := make([]bool, ni)
+				for j := range cex {
+					cex[j] = pat&(1<<j) != 0
+				}
+				return false, cex, nil
+			}
+		}
+	}
+	return true, nil, nil
+}
+
+func trailingOne(w uint64) int {
+	for i := 0; i < 64; i++ {
+		if w&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// OutputCorruptibility estimates, over nRounds 64-pattern random
+// rounds, the fraction of (pattern, output) pairs on which the two
+// netlists disagree. Logic-locking papers use this to quantify how
+// wrong a circuit is under an incorrect key: one-point-function schemes
+// score near zero, RIL-Blocks score high.
+func OutputCorruptibility(a, b *Netlist, nRounds int, seed int64) (float64, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return 0, fmt.Errorf("netlist: signature mismatch")
+	}
+	sa, err := NewSimulator(a)
+	if err != nil {
+		return 0, err
+	}
+	sb, err := NewSimulator(b)
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, len(a.Inputs))
+	diff, total := 0, 0
+	for r := 0; r < nRounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		oa := append([]uint64(nil), sa.Run(in)...)
+		ob := sb.Run(in)
+		for i := range oa {
+			diff += popcount64(oa[i] ^ ob[i])
+			total += 64
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(diff) / float64(total), nil
+}
+
+func popcount64(w uint64) int {
+	c := 0
+	for ; w != 0; w &= w - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,79 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogStructure(t *testing.T) {
+	n := buildFullAdder(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module fulladder",
+		"input wire a", "input wire b", "input wire cin",
+		"output wire po0_sum", "output wire po1_cout",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Primitive instances for the logic gates.
+	if strings.Count(v, "xor U") != 2 {
+		t.Errorf("want 2 xor instances:\n%s", v)
+	}
+	if strings.Count(v, "and U") != 2 || strings.Count(v, "or U") < 1 {
+		t.Errorf("gate instances wrong:\n%s", v)
+	}
+}
+
+func TestWriteVerilogMuxAndConst(t *testing.T) {
+	n := New("m")
+	s := n.AddInput("sel")
+	a := n.AddInput("a")
+	c1 := n.AddGate("one", Const1, []int{}...)
+	m := n.AddGate("mx", Mux, s, a, c1)
+	n.MarkOutput(m)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	if !strings.Contains(v, "assign one = 1'b1;") {
+		t.Errorf("const assign missing:\n%s", v)
+	}
+	if !strings.Contains(v, "assign mx = sel ? one : a;") {
+		t.Errorf("mux ternary wrong:\n%s", v)
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"a":       "a",
+		"st[3]":   "st_3_",
+		"9lives":  "n9lives",
+		"module":  "module_w",
+		"":        "sig",
+		"ok_name": "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestVerilogNameCollisions(t *testing.T) {
+	n := New("c")
+	n.AddInput("x[0]")
+	n.AddInput("x_0_") // collides after sanitization
+	names := n.verilogNames()
+	if names[0] == names[1] {
+		t.Errorf("collision not resolved: %q vs %q", names[0], names[1])
+	}
+}

@@ -1,0 +1,185 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+func TestConstantFolds(t *testing.T) {
+	nl := netlist.New("cf")
+	x := nl.AddInput("x")
+	c0 := nl.AddGate("c0", netlist.Const0)
+	c1 := nl.AddGate("c1", netlist.Const1)
+	and0 := nl.AddGate("and0", netlist.And, x, c0) // -> 0
+	or1 := nl.AddGate("or1", netlist.Or, x, c1)    // -> 1
+	xorc := nl.AddGate("xorc", netlist.Xor, x, c1) // -> NOT x
+	mux := nl.AddGate("mux", netlist.Mux, c1, x, and0)
+	sel := nl.AddGate("sel", netlist.Mux, x, c0, c1) // -> x
+	for _, id := range []int{and0, or1, xorc, mux, sel} {
+		nl.MarkOutput(id)
+	}
+	before := nl.Clone()
+	stats, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ConstFolds == 0 {
+		t.Error("no constant folds recorded")
+	}
+	eq, cex, err := netlist.Equivalent(before, nl, 10, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("optimization changed function, cex=%v", cex)
+	}
+	if nl.NumLogicGates() >= before.NumLogicGates() {
+		t.Errorf("no shrink: %d -> %d", before.NumLogicGates(), nl.NumLogicGates())
+	}
+}
+
+func TestIdentityAndInverterPairs(t *testing.T) {
+	nl := netlist.New("idn")
+	x := nl.AddInput("x")
+	y := nl.AddInput("y")
+	xx := nl.AddGate("xx", netlist.And, x, x)   // -> x
+	xox := nl.AddGate("xox", netlist.Xor, x, x) // -> 0
+	n1 := nl.AddGate("n1", netlist.Not, y)
+	n2 := nl.AddGate("n2", netlist.Not, n1)      // -> y
+	out := nl.AddGate("out", netlist.Or, xx, n2) // -> x OR y
+	nl.MarkOutput(out)
+	nl.MarkOutput(xox)
+	before := nl.Clone()
+	stats, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Identities == 0 || stats.InvPairs == 0 {
+		t.Errorf("missing rewrites: %+v", stats)
+	}
+	eq, _, err := netlist.Equivalent(before, nl, 10, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("identity rewrites broke function")
+	}
+}
+
+func TestCSEMergesDuplicates(t *testing.T) {
+	nl := netlist.New("cse")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	g1 := nl.AddGate("g1", netlist.And, a, b)
+	g2 := nl.AddGate("g2", netlist.And, b, a) // same expression, swapped
+	o := nl.AddGate("o", netlist.Xor, g1, g2) // -> 0 after merge
+	nl.MarkOutput(o)
+	before := nl.Clone()
+	stats, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CSEMerges == 0 {
+		t.Error("duplicate AND not merged")
+	}
+	eq, _, err := netlist.Equivalent(before, nl, 10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("CSE broke function")
+	}
+}
+
+func TestOptimizeRandomPreservesFunction(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		nl, err := netlist.Random(netlist.RandomProfile{
+			Name: "r", Inputs: 14, Outputs: 7, Gates: 250, Locality: 0.6,
+		}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := nl.Clone()
+		if _, err := Optimize(nl); err != nil {
+			t.Fatal(err)
+		}
+		eq, cex, err := attack.EquivalentSAT(before, nl, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("seed %d: optimization changed function (cex %v)", seed, cex)
+		}
+		if nl.NumLogicGates() > before.NumLogicGates() {
+			t.Errorf("seed %d: optimization grew the circuit", seed)
+		}
+	}
+}
+
+func TestBoundLockedCircuitCollapses(t *testing.T) {
+	// Binding the correct key and resynthesizing must collapse the MUX
+	// lattice: the activated RIL design returns close to the original
+	// gate count — the fair way to measure *activated* overhead.
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "rl", Inputs: 18, Outputs: 9, Gates: 400, Locality: 0.7,
+	}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 2, Size: core.Size8x8x8, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockedGates := bound.NumLogicGates()
+	stats, err := Optimize(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := attack.EquivalentSAT(orig, bound, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("resynthesis broke the activated circuit")
+	}
+	if bound.NumLogicGates() >= lockedGates {
+		t.Errorf("no collapse: %d -> %d", lockedGates, bound.NumLogicGates())
+	}
+	// The MUX trees with constant selects and constant leaves must
+	// mostly vanish: within 15% of the original gate count.
+	limit := orig.NumLogicGates() + orig.NumLogicGates()*15/100
+	if bound.NumLogicGates() > limit {
+		t.Errorf("activated design still carries %d gates (original %d): %s",
+			bound.NumLogicGates(), orig.NumLogicGates(), stats)
+	}
+	t.Logf("locked %d -> optimized %d (original %d): %s",
+		lockedGates, bound.NumLogicGates(), orig.NumLogicGates(), stats)
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	nl, err := netlist.Random(netlist.RandomProfile{
+		Name: "i", Inputs: 12, Outputs: 6, Gates: 150, Locality: 0.6,
+	}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimize(nl); err != nil {
+		t.Fatal(err)
+	}
+	g1 := nl.NumLogicGates()
+	st, err := Optimize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumLogicGates() != g1 {
+		t.Errorf("second pass changed size: %d -> %d (%s)", g1, nl.NumLogicGates(), st)
+	}
+}

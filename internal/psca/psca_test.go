@@ -1,0 +1,162 @@
+package psca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/lutsim"
+	"repro/internal/mtj"
+)
+
+func sramWith(f logic.Func2) *lutsim.SRAMLUT {
+	s := lutsim.NewSRAM(lutsim.DefaultConfig())
+	s.Configure(f)
+	return s
+}
+
+func mramWith(t *testing.T, f logic.Func2, seed int64) *lutsim.LUT {
+	t.Helper()
+	var l *lutsim.LUT
+	if seed == 0 {
+		l = lutsim.New(lutsim.DefaultConfig())
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		l = lutsim.Sample(lutsim.DefaultConfig(), mtj.DefaultVariation(), lutsim.DefaultMOSVariation(), rng)
+	}
+	for _, r := range l.Configure(f) {
+		if r.Error {
+			t.Fatal("configure failed")
+		}
+	}
+	return l
+}
+
+func TestCPARecoversSRAMKey(t *testing.T) {
+	// Every non-constant function must fall to CPA on the SRAM LUT.
+	for _, f := range logic.AllFunc2() {
+		if f == logic.Const0 || f == logic.Const1 {
+			continue
+		}
+		traces := CollectSRAM(sramWith(f), 400, 0.05, int64(f))
+		res, err := CPA(traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Recovered(f) {
+			t.Errorf("CPA missed SRAM key %s (best %s, margin %.3f)", f, res.Best, res.Margin)
+		}
+		if res.Margin < 0.1 {
+			t.Errorf("CPA margin %.3f for %s suspiciously small on a leaky target", res.Margin, f)
+		}
+	}
+}
+
+func TestCPAFailsOnMRAM(t *testing.T) {
+	// Across PV instances and functions, MRAM CPA must not beat
+	// guessing. With 8 canonical hypotheses random guessing recovers
+	// the key 1/8 of the time; allow up to 40% to keep the test robust
+	// while still distinguishing from the SRAM case (100%).
+	recovered, total := 0, 0
+	for _, f := range []logic.Func2{logic.AND, logic.OR, logic.XOR, logic.NAND, logic.NOR, logic.BufA} {
+		for inst := int64(1); inst <= 5; inst++ {
+			l := mramWith(t, f, inst*17)
+			traces := CollectMRAM(l, 400, 0.05, int64(f)*100+inst)
+			res, err := CPA(traces)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if res.Recovered(f) {
+				recovered++
+			}
+		}
+	}
+	if rate := float64(recovered) / float64(total); rate > 0.4 {
+		t.Errorf("CPA recovered MRAM keys at rate %.2f — complementary sensing should hide them", rate)
+	}
+}
+
+func TestDPASeparation(t *testing.T) {
+	f := logic.AND
+	sramTraces := CollectSRAM(sramWith(f), 1000, 0.05, 3)
+	mramTraces := CollectMRAM(mramWith(t, f, 9), 1000, 0.05, 4)
+	sd, err := DPA(sramTraces, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := DPA(mramTraces, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TVLA-style threshold: |t| > 4.5 flags leakage.
+	if sd.TValue < 4.5 {
+		t.Errorf("SRAM t-value %.2f should flag obvious leakage", sd.TValue)
+	}
+	if md.TValue > sd.TValue/5 {
+		t.Errorf("MRAM t-value %.2f not clearly below SRAM %.2f", md.TValue, sd.TValue)
+	}
+}
+
+func TestSNRContrast(t *testing.T) {
+	f := logic.NAND
+	sramTraces := CollectSRAM(sramWith(f), 2000, 0.05, 5)
+	mramTraces := CollectMRAM(mramWith(t, f, 21), 2000, 0.05, 6)
+	sSNR := SNR(sramTraces, f)
+	mSNR := SNR(mramTraces, f)
+	if sSNR < 1 {
+		t.Errorf("SRAM SNR %.3f too low for a leaky target", sSNR)
+	}
+	if mSNR > sSNR/10 {
+		t.Errorf("MRAM SNR %.4f not an order of magnitude below SRAM %.3f", mSNR, sSNR)
+	}
+}
+
+func TestDPAErrorsOnConstant(t *testing.T) {
+	traces := CollectSRAM(sramWith(logic.Const0), 100, 0.05, 7)
+	if _, err := DPA(traces, logic.Const0); err == nil {
+		t.Error("DPA on a constant function should fail (single partition)")
+	}
+}
+
+func TestCPAErrorsOnTinyTraceSet(t *testing.T) {
+	traces := CollectSRAM(sramWith(logic.AND), 4, 0.05, 8)
+	if _, err := CPA(traces); err == nil {
+		t.Error("CPA should reject tiny trace sets")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if r := pearson(x, x); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self correlation %v", r)
+	}
+	y := []float64{4, 3, 2, 1}
+	if r := pearson(x, y); math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti correlation %v", r)
+	}
+	flat := []float64{5, 5, 5, 5}
+	if r := pearson(x, flat); r != 0 {
+		t.Errorf("degenerate correlation %v", r)
+	}
+}
+
+func TestNoiseScalesWithPower(t *testing.T) {
+	l := mramWith(t, logic.AND, 0)
+	lo := CollectMRAM(l, 500, 0.001, 9)
+	hi := CollectMRAM(l, 500, 0.2, 10)
+	_, vLo := meanVar(powers(lo))
+	_, vHi := meanVar(powers(hi))
+	if vHi <= vLo {
+		t.Error("noise parameter has no effect on trace variance")
+	}
+}
+
+func powers(ts []Trace) []float64 {
+	out := make([]float64, len(ts))
+	for i, tr := range ts {
+		out[i] = tr.Power
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/baselines"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// Ablation isolates the contribution of each RIL-Block ingredient to
+// SAT-hardness (the design choices §III-A argues for): LUTs alone,
+// input routing alone, and the full block, at equal LUT count.
+func Ablation(cfg AttackConfig) (*Table, error) {
+	prof, _ := circuit.ProfileByName("c7552")
+	orig, err := prof.Synthesize(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: which RIL-Block ingredient creates the SAT-hardness (8 LUTs each)",
+		Header: []string{"geometry", "key bits", "DIPs", "runtime (s)", "result"},
+		Notes: []string{
+			fmt.Sprintf("scale=%.2f timeout=%v; one block (or 8 plain LUTs) per row", cfg.Scale, cfg.Timeout),
+		},
+	}
+	rows := []struct {
+		label  string
+		blocks int
+		size   core.Size
+	}{
+		{"8 x lut1 (LUTs only, [12])", 8, core.Size{K: 1}},
+		{"lut8 (grouped LUTs, no routing)", 1, core.Size{K: 8}},
+		{"8x8 (input routing)", 1, core.Size8x8},
+		{"8x8x8 (routing both sides)", 1, core.Size8x8x8},
+		{"3 x 8x8x8 (paper operating point)", 3, core.Size8x8x8},
+	}
+	for _, r := range rows {
+		res, err := core.Lock(orig, core.Options{Blocks: r.blocks, Size: r.size, Seed: cfg.Seed})
+		if err != nil {
+			t.AddRow(r.label, "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
+		bound, err := res.ApplyKey(res.Key)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := attack.NewSimOracle(bound)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+			attack.SATOptions{Timeout: cfg.Timeout})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(r.label,
+			fmt.Sprintf("%d", res.KeyBits()),
+			fmt.Sprintf("%d", ar.Iterations),
+			fmtDuration(ar.Elapsed, ar.Status != attack.KeyFound),
+			ar.Status.String())
+	}
+	return t, nil
+}
+
+// OneHotEncoding reproduces the §IV-B pre-processing comparison: the
+// one-layer linear (one-hot crossbar) re-encoding of routing networks
+// cracks routing-only obfuscation (FullLock/InterLock lineage, [10],
+// [11]) but leaves RIL-Blocks hard — the LUT layer's coupling survives
+// the re-encoding.
+func OneHotEncoding(cfg AttackConfig) (*Table, error) {
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "onehot", Inputs: 16, Outputs: 12,
+		Gates: int(3000 * cfg.Scale), Locality: 0.3,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "One-layer one-hot re-encoding (SIV-B): routing-only vs RIL-Blocks",
+		Header: []string{"scheme", "attack", "DIPs", "result", "key correct"},
+		Notes: []string{
+			fmt.Sprintf("timeout=%v; 'key correct' verified against the oracle", cfg.Timeout),
+		},
+	}
+
+	addRow := func(scheme, label string, iterations int, status attack.Status, correct string) {
+		t.AddRow(scheme, label, fmt.Sprintf("%d", iterations), status.String(), correct)
+	}
+
+	// Routing-only lock, plain and one-hot attacks.
+	rl, net, err := baselines.RoutingLock(orig, 8, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rlBound, err := rl.Netlist.BindInputs(rl.KeyPos, rl.Key)
+	if err != nil {
+		return nil, err
+	}
+	rlOracle, err := attack.NewSimOracle(rlBound)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := attack.SATAttack(rl.Netlist, rl.KeyPos, rlOracle, attack.SATOptions{Timeout: cfg.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	addRow("routing-only 8x8", "plain SAT", plain.Iterations, plain.Status,
+		verdict(rl.Netlist, rl.KeyPos, plain.Key, plain.Status, rlOracle))
+	hints := []attack.RoutingHint{attack.HintFromRoutingNetwork(net.Width, net.InputNames, net.OutputNames, net.KeyPos)}
+	oh, err := attack.SATAttackOneHot(rl.Netlist, rl.KeyPos, hints, rlOracle, attack.SATOptions{Timeout: cfg.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	ohKey := oh.Key
+	if !oh.Realizable {
+		ohKey = nil
+	}
+	addRow("routing-only 8x8", "one-hot SAT", oh.SAT.Iterations, oh.SAT.Status,
+		verdict(rl.Netlist, rl.KeyPos, ohKey, oh.SAT.Status, rlOracle))
+
+	// RIL-Blocks, plain and one-hot attacks.
+	ril, err := core.Lock(orig, core.Options{Blocks: 2, Size: core.Size8x8x8, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rilBound, err := ril.ApplyKey(ril.Key)
+	if err != nil {
+		return nil, err
+	}
+	rilOracle, err := attack.NewSimOracle(rilBound)
+	if err != nil {
+		return nil, err
+	}
+	plain2, err := attack.SATAttack(ril.Locked, ril.KeyInputPos, rilOracle, attack.SATOptions{Timeout: cfg.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	addRow("RIL 2x 8x8x8", "plain SAT", plain2.Iterations, plain2.Status,
+		verdict(ril.Locked, ril.KeyInputPos, plain2.Key, plain2.Status, rilOracle))
+	oh2, err := attack.SATAttackOneHot(ril.Locked, ril.KeyInputPos, attack.HintsFromRIL(ril), rilOracle,
+		attack.SATOptions{Timeout: cfg.Timeout})
+	if err != nil {
+		return nil, err
+	}
+	oh2Key := oh2.Key
+	if !oh2.Realizable {
+		oh2Key = nil
+	}
+	addRow("RIL 2x 8x8x8", "one-hot SAT", oh2.SAT.Iterations, oh2.SAT.Status,
+		verdict(ril.Locked, ril.KeyInputPos, oh2Key, oh2.SAT.Status, rilOracle))
+	return t, nil
+}
+
+// Sensitization compares the key-sensitization attack (the paper's
+// reference [1] family) on XOR locking vs RIL-Blocks: golden patterns
+// leak isolated key bits; the MUX lattice entangles every RIL key bit
+// with the rest.
+func Sensitization(cfg AttackConfig) (*Table, error) {
+	orig, err := netlist.Random(netlist.RandomProfile{
+		Name: "sens", Inputs: 16, Outputs: 8,
+		Gates: int(1500 * cfg.Scale), Locality: 0.6,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Key sensitization: golden-pattern leakage, XOR locking vs RIL-Blocks",
+		Header: []string{"scheme", "key bits", "resolved", "oracle queries"},
+	}
+	xor, err := baselines.XORLock(orig, 10, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	xb, err := xor.Netlist.BindInputs(xor.KeyPos, xor.Key)
+	if err != nil {
+		return nil, err
+	}
+	xOracle, err := attack.NewSimOracle(xb)
+	if err != nil {
+		return nil, err
+	}
+	xr, err := attack.Sensitize(xor.Netlist, xor.KeyPos, xOracle, 16, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("XOR lock", fmt.Sprintf("%d", xor.KeyBits()),
+		fmt.Sprintf("%d", xr.Resolved), fmt.Sprintf("%d", xr.Queries))
+
+	ril, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := ril.ApplyKey(ril.Key)
+	if err != nil {
+		return nil, err
+	}
+	rOracle, err := attack.NewSimOracle(rb)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := attack.Sensitize(ril.Locked, ril.KeyInputPos, rOracle, 4, cfg.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("RIL 8x8", fmt.Sprintf("%d", ril.KeyBits()),
+		fmt.Sprintf("%d", rr.Resolved), fmt.Sprintf("%d", rr.Queries))
+	return t, nil
+}
+
+// verdict renders whether a recovered key matches the oracle.
+func verdict(locked *netlist.Netlist, keyPos []int, key []bool, status attack.Status, oracle attack.Oracle) string {
+	if status != attack.KeyFound || key == nil {
+		return "-"
+	}
+	e, err := attack.VerifyKey(locked, keyPos, key, oracle, 8, 1)
+	if err != nil || e > 0 {
+		return "no"
+	}
+	return "yes"
+}
+
+// DynamicMorphing runs the SAT attack against a device that morphs
+// every `epochQueries` oracle queries, reporting whether the attack
+// obtained a functionally correct key (the paper's ultimate dynamic-
+// obfuscation claim, §IV-B).
+func DynamicMorphing(cfg AttackConfig, epochQueries int) (*Table, error) {
+	prof, _ := circuit.ProfileByName("c7552")
+	orig, err := prof.Synthesize(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Dynamic morphing vs SAT attack (scan-mode oracle morphs during the attack)",
+		Header: []string{"mode", "DIPs", "epochs", "result", "functional key?"},
+	}
+
+	run := func(label string, dynamic bool) error {
+		res, err := core.Lock(orig, core.Options{
+			Blocks: 1, Size: core.Size8x8, Seed: cfg.Seed, ScanEnable: true,
+		})
+		if err != nil {
+			return err
+		}
+		var oracle attack.Oracle
+		var dyn *core.DynamicOracle
+		if dynamic {
+			dyn, err = core.NewDynamicOracle(res, epochQueries, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			oracle = dyn
+		} else {
+			sv, err := res.ScanView()
+			if err != nil {
+				return err
+			}
+			bound, err := sv.BindInputs(res.KeyInputPos, res.Key)
+			if err != nil {
+				return err
+			}
+			oracle, err = attack.NewSimOracle(bound)
+			if err != nil {
+				return err
+			}
+		}
+		ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+			attack.SATOptions{Timeout: cfg.Timeout})
+		if err != nil {
+			return err
+		}
+		funcKey := "no"
+		if ar.Status == attack.KeyFound {
+			fBound, err := res.ApplyKey(res.Key)
+			if err != nil {
+				return err
+			}
+			funcOracle, err := attack.NewSimOracle(fBound)
+			if err != nil {
+				return err
+			}
+			e, err := attack.VerifyKey(res.Locked, res.KeyInputPos, ar.Key, funcOracle, 8, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			if e == 0 {
+				funcKey = "yes"
+			}
+		}
+		epochs := "0"
+		if dyn != nil {
+			epochs = fmt.Sprintf("%d", dyn.Epochs())
+		}
+		t.AddRow(label, fmt.Sprintf("%d", ar.Iterations), epochs, ar.Status.String(), funcKey)
+		return nil
+	}
+	if err := run("static scan oracle", false); err != nil {
+		return nil, err
+	}
+	if err := run(fmt.Sprintf("morphing every %d queries", epochQueries), true); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,77 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	cfg := fastCfg()
+	cfg.Timeout = time.Second
+	tb, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("ablation rows = %d, want 5", len(tb.Rows))
+	}
+	// The LUT-only rows must be solved; the hardest row must not be
+	// easier than the easiest.
+	if tb.Rows[0][4] != "key-found" {
+		t.Errorf("plain LUT-lock should fall: %v", tb.Rows[0])
+	}
+	if tb.Rows[4][4] == "key-found" && tb.Rows[0][4] != "key-found" {
+		t.Errorf("3x 8x8x8 easier than LUT-only:\n%s", tb.String())
+	}
+}
+
+func TestOneHotEncodingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("one-hot sweep in -short mode")
+	}
+	cfg := fastCfg()
+	cfg.Scale = 0.1
+	cfg.Timeout = 2 * time.Second
+	tb, err := OneHotEncoding(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("one-hot rows = %d, want 4", len(tb.Rows))
+	}
+	// Row 1: one-hot attack on the routing-only lock must succeed with
+	// a correct key.
+	if tb.Rows[1][3] != "key-found" || tb.Rows[1][4] != "yes" {
+		t.Errorf("one-hot attack failed on routing-only lock:\n%s", tb.String())
+	}
+}
+
+func TestDynamicMorphingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dynamic sweep in -short mode")
+	}
+	cfg := fastCfg()
+	cfg.Timeout = 3 * time.Second
+	tb, err := DynamicMorphing(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("dynamic rows = %d, want 2", len(tb.Rows))
+	}
+	// Neither oracle mode may yield a functionally correct key.
+	for _, row := range tb.Rows {
+		if row[4] == "yes" {
+			t.Errorf("attack recovered a functional key through the scan oracle:\n%s", tb.String())
+		}
+	}
+	// The morphing row must have advanced at least one epoch unless the
+	// attack finished immediately.
+	if tb.Rows[1][2] == "0" && !strings.Contains(tb.Rows[1][3], "key-found") {
+		t.Logf("no morph epochs elapsed: %v", tb.Rows[1])
+	}
+}

@@ -1,0 +1,254 @@
+package report
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// AttackConfig scales the SAT experiments to the host machine: the
+// paper ran a 5-day timeout on full-size benchmarks; the reproduction
+// defaults to seconds on scaled circuits, preserving the shape (which
+// configurations reach the timeout first).
+type AttackConfig struct {
+	Timeout time.Duration
+	Scale   float64 // circuit scale factor for the ISCAS profiles (0,1]
+	Seed    int64
+}
+
+// DefaultAttackConfig is sized for an interactive run.
+func DefaultAttackConfig() AttackConfig {
+	return AttackConfig{Timeout: 2 * time.Second, Scale: 0.25, Seed: 1}
+}
+
+// lockAndAttack locks the circuit and runs the SAT attack against an
+// honest oracle (static operational mode, paper Table I/III).
+func lockAndAttack(orig *netlist.Netlist, blocks int, size core.Size, cfg AttackConfig) (*attack.SATResult, error) {
+	res, err := core.Lock(orig, core.Options{Blocks: blocks, Size: size, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := attack.NewSimOracle(bound)
+	if err != nil {
+		return nil, err
+	}
+	return attack.SATAttack(res.Locked, res.KeyInputPos, oracle, attack.SATOptions{Timeout: cfg.Timeout})
+}
+
+// Table1 reproduces paper Table I: SAT-attack runtime for c7552 locked
+// with {counts} RIL-Blocks of sizes 2×2, 8×8 and 8×8×8.
+func Table1(cfg AttackConfig, counts []int) (*Table, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 3, 4, 5, 10, 25, 50, 75, 100}
+	}
+	prof, _ := circuit.ProfileByName("c7552")
+	orig, err := prof.Synthesize(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []core.Size{core.Size2x2, core.Size8x8, core.Size8x8x8}
+	t := &Table{
+		Title:  "Table I: SAT-attack runtime (s) on c7552 vs RIL-Block count and size",
+		Header: []string{"blocks", "2x2", "8x8", "8x8x8"},
+		Notes: []string{
+			fmt.Sprintf("scale=%.2f timeout=%v ('inf' = timeout, 'n/a' = circuit cannot host the blocks)", cfg.Scale, cfg.Timeout),
+		},
+	}
+	for _, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, size := range sizes {
+			res, err := lockAndAttack(orig, n, size, cfg)
+			switch {
+			case err != nil:
+				row = append(row, "n/a")
+			case res.Status == attack.KeyFound:
+				row = append(row, fmtDuration(res.Elapsed, false))
+			default:
+				row = append(row, fmtDuration(res.Elapsed, true))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Table2 reproduces paper Table II: the configuration key bits of all
+// sixteen two-input functions of the MRAM LUT.
+func Table2() *Table {
+	t := &Table{
+		Title:  "Table II: configuration key bits of the 2-input MRAM LUT",
+		Header: []string{"function", "K1", "K2", "K3", "K4"},
+	}
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, f := range logic.AllFunc2() {
+		k := f.Keys()
+		t.AddRow(f.String(), b(k[0]), b(k[1]), b(k[2]), b(k[3]))
+	}
+	return t
+}
+
+// Table3Row is one benchmark result of Table III.
+type Table3Row struct {
+	Suite, Circuit string
+	Times          [3]string // 1, 2, 3 blocks of 8x8x8
+	AppSATSuccess  bool
+}
+
+// Table3 reproduces paper Table III: SAT runtime with 1/2/3 8×8×8
+// RIL-Blocks per benchmark, plus whether AppSAT succeeds when the
+// scan-enable obfuscation is active.
+func Table3(cfg AttackConfig) (*Table, error) {
+	benches, err := table3Suite(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Table III: SAT-attack runtime (s), 8x8x8 RIL-Blocks; AppSAT under scan-enable obfuscation",
+		Header: []string{"suite", "circuit", "1 block", "2 blocks", "3 blocks", "AppSAT success"},
+		Notes: []string{
+			fmt.Sprintf("scale=%.2f timeout=%v per attack", cfg.Scale, cfg.Timeout),
+		},
+	}
+	for _, b := range benches {
+		row := []string{b.suite, b.name}
+		for _, blocks := range []int{1, 2, 3} {
+			res, err := lockAndAttack(b.nl, blocks, core.Size8x8x8, cfg)
+			switch {
+			case err != nil:
+				row = append(row, "n/a")
+			case res.Status == attack.KeyFound:
+				row = append(row, fmtDuration(res.Elapsed, false))
+			default:
+				row = append(row, fmtDuration(res.Elapsed, true))
+			}
+		}
+		ok, err := appSATSucceeds(b.nl, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			row = append(row, "yes")
+		} else {
+			row = append(row, "x")
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+type namedBench struct {
+	suite, name string
+	nl          *netlist.Netlist
+}
+
+func table3Suite(scale float64) ([]namedBench, error) {
+	var out []namedBench
+	for _, name := range []string{"b15", "s35932", "s38584", "b20"} {
+		prof, ok := circuit.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("report: missing profile %s", name)
+		}
+		nl, err := prof.Synthesize(scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, namedBench{"ISCAS/ITC", name, nl})
+	}
+	cepScale := "small"
+	if scale > 0.5 {
+		cepScale = "full"
+	}
+	cep, err := circuit.CEPSuite(cepScale)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"AES", "SHA-256", "MD5", "GPS", "DES", "FIR"} {
+		out = append(out, namedBench{"CEP", name, cep[name]})
+	}
+	return out, nil
+}
+
+// appSATSucceeds locks the circuit with scan-enable obfuscation and
+// runs AppSAT against the corrupted scan oracle; success requires a
+// functionally correct key.
+func appSATSucceeds(orig *netlist.Netlist, cfg AttackConfig) (bool, error) {
+	res, err := core.Lock(orig, core.Options{
+		Blocks: 1, Size: core.Size8x8x8, Seed: cfg.Seed, ScanEnable: true,
+	})
+	if err != nil {
+		return false, err
+	}
+	sv, err := res.ScanView()
+	if err != nil {
+		return false, err
+	}
+	svBound, err := sv.BindInputs(res.KeyInputPos, res.Key)
+	if err != nil {
+		return false, err
+	}
+	scanOracle, err := attack.NewSimOracle(svBound)
+	if err != nil {
+		return false, err
+	}
+	opt := attack.DefaultAppSAT()
+	opt.Timeout = cfg.Timeout
+	opt.MaxRounds = 16
+	ar, err := attack.AppSAT(res.Locked, res.KeyInputPos, scanOracle, opt)
+	if err != nil {
+		return false, err
+	}
+	if ar.Status != attack.KeyFound {
+		return false, nil
+	}
+	// Validate against the real functional circuit.
+	fBound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		return false, err
+	}
+	funcOracle, err := attack.NewSimOracle(fBound)
+	if err != nil {
+		return false, err
+	}
+	e, err := attack.VerifyKey(res.Locked, res.KeyInputPos, ar.Key, funcOracle, 8, cfg.Seed)
+	if err != nil {
+		return false, err
+	}
+	return e == 0, nil
+}
+
+// OverheadTable reproduces the §III-A overhead claim: 3 blocks of
+// 8×8×8 vs 75 blocks of 2×2 at comparable (timeout-grade) resilience.
+func OverheadTable() *Table {
+	t := &Table{
+		Title:  "Overhead: equal-resilience configurations (paper SIII-A)",
+		Header: []string{"config", "key bits", "LUTs", "switchboxes", "MTJs", "transistors"},
+	}
+	add := func(label string, o core.Overhead) {
+		t.AddRow(label,
+			fmt.Sprintf("%d", o.KeyBits),
+			fmt.Sprintf("%d", o.LUTs),
+			fmt.Sprintf("%d", o.Switchboxes),
+			fmt.Sprintf("%d", o.MTJs),
+			fmt.Sprintf("%d", o.Transistors))
+	}
+	small := core.TotalOverhead(core.Size2x2, 75)
+	big := core.TotalOverhead(core.Size8x8x8, 3)
+	add("75 x 2x2", small)
+	add("3 x 8x8x8", big)
+	t.Notes = append(t.Notes, fmt.Sprintf("transistor ratio %.2fx in favour of 3 x 8x8x8", float64(small.Transistors)/float64(big.Transistors)))
+	return t
+}

@@ -1,0 +1,99 @@
+// Package report runs the paper's experiments end-to-end and formats
+// their tables and figure data. Each experiment function corresponds
+// to one table or figure of the evaluation (see DESIGN.md for the
+// index); cmd/rilbench and the benchmark suite are thin wrappers
+// around this package.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a formatted experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders an aligned ASCII table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, strings.Join(t.Header, ",")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDuration renders attack runtimes the way the paper does: seconds
+// with the ∞ marker for timeouts.
+func fmtDuration(d time.Duration, timedOut bool) string {
+	if timedOut {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// fmtJoule renders an energy with engineering units.
+func fmtJoule(j float64) string {
+	switch {
+	case j >= 1e-12:
+		return fmt.Sprintf("%.2fpJ", j*1e12)
+	case j >= 1e-15:
+		return fmt.Sprintf("%.2ffJ", j*1e15)
+	default:
+		return fmt.Sprintf("%.2faJ", j*1e18)
+	}
+}

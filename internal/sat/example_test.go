@@ -1,0 +1,38 @@
+package sat_test
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// ExampleSolver solves (a ∨ b) ∧ (¬a ∨ b) ∧ (¬b ∨ c).
+func ExampleSolver() {
+	s := sat.New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(a, true), cnf.MkLit(b, false))
+	s.AddClause(cnf.MkLit(b, true), cnf.MkLit(c, false))
+	st := s.Solve()
+	fmt.Println(st)
+	fmt.Println("b =", s.Model()[b], "c =", s.Model()[c])
+	// Output:
+	// SAT
+	// b = true c = true
+}
+
+// ExampleSolver_assumptions shows incremental solving under
+// assumptions: the same clause database answers different questions.
+func ExampleSolver_assumptions() {
+	s := sat.New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(cnf.MkLit(a, false), cnf.MkLit(b, false)) // a ∨ b
+	fmt.Println(s.Solve(cnf.MkLit(a, true)))              // assume ¬a
+	fmt.Println(s.Solve(cnf.MkLit(a, true), cnf.MkLit(b, true)))
+	fmt.Println(s.Solve()) // still usable afterwards
+	// Output:
+	// SAT
+	// UNSAT
+	// SAT
+}

@@ -1,0 +1,94 @@
+package sat
+
+// varHeap is an indexed binary max-heap over variable activities, used
+// by the VSIDS decision heuristic. It stores variable indices and keeps
+// a reverse index so that membership tests and key-decrease operations
+// are O(1) and O(log n).
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int // var -> position in heap, -1 if absent
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) inHeap(v int) bool {
+	return v < len(h.indices) && h.indices[v] >= 0
+}
+
+func (h *varHeap) percolateUp(i int) {
+	x := h.heap[i]
+	for i > 0 {
+		p := (i - 1) >> 1
+		if !h.less(x, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[p]] = i
+		i = p
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	x := h.heap[i]
+	for {
+		l := 2*i + 1
+		if l >= len(h.heap) {
+			break
+		}
+		r := l + 1
+		child := l
+		if r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			child = r
+		}
+		if !h.less(h.heap[child], x) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = i
+		i = child
+	}
+	h.heap[i] = x
+	h.indices[x] = i
+}
+
+func (h *varHeap) insert(v int) {
+	for len(h.indices) <= v {
+		h.indices = append(h.indices, -1)
+	}
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.indices[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.percolateUp(h.indices[v])
+}
+
+// decrease restores the heap property after v's activity increased
+// (the heap is a max-heap, so a larger key moves toward the root).
+func (h *varHeap) decrease(v int) {
+	if h.inHeap(v) {
+		h.percolateUp(h.indices[v])
+	}
+}
+
+func (h *varHeap) removeMin() int {
+	x := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.indices[x] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.indices[last] = 0
+		h.percolateDown(0)
+	}
+	return x
+}

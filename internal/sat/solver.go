@@ -1,0 +1,680 @@
+// Package sat implements an incremental CDCL (conflict-driven clause
+// learning) SAT solver in the MiniSat lineage: two-watched-literal
+// propagation, VSIDS decision heuristic with phase saving, first-UIP
+// conflict analysis with non-chronological backtracking, Luby restarts
+// and activity/LBD-based learnt-clause database reduction.
+//
+// The paper's SAT-hardness argument is about exactly this algorithm
+// family (it cites DPLL/CDCL and the CaDiCaL solver); the RIL-Block
+// construction is designed to force deep backtracking in this search.
+package sat
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cnf"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget or deadline exhausted
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+// Stats accumulates solver counters across Solve calls.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+	MaxDepth     int // deepest decision level reached
+}
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+type clause struct {
+	lits    []cnf.Lit
+	act     float32
+	lbd     int32
+	learnt  bool
+	deleted bool
+}
+
+type watcher struct {
+	cref    int     // clause index
+	blocker cnf.Lit // a literal whose truth satisfies the clause
+}
+
+// Solver is an incremental CDCL solver. The zero value is not usable;
+// call New.
+type Solver struct {
+	clauses []clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []int8  // per variable
+	level    []int32 // per variable
+	reason   []int32 // per variable: clause index or -1
+	polarity []bool  // phase saving: last assigned value
+	activity []float64
+	varInc   float64
+
+	heap    *varHeap
+	trail   []cnf.Lit
+	trailQ  int // propagation queue head
+	limits  []int
+	assumps []cnf.Lit
+	seen    []bool // scratch for conflict analysis
+
+	claInc    float64
+	learntCnt int
+	maxLearnt float64
+
+	okay  bool // false once toplevel conflict found
+	model []bool
+
+	rng        *rand.Rand
+	stats      Stats
+	deadline   time.Time
+	confBudget int64 // remaining conflicts allowed; <0 means unlimited
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:     1,
+		claInc:     1,
+		okay:       true,
+		rng:        rand.New(rand.NewSource(91648253)),
+		confBudget: -1,
+	}
+	s.heap = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() cnf.Var {
+	v := cnf.Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, true) // default phase: false (neg)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(int(v))
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+func (s *Solver) ensureVar(v cnf.Var) {
+	for cnf.Var(len(s.assigns)) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) litValue(l cnf.Lit) int8 {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -a
+	}
+	return a
+}
+
+// AddFormula adds every clause of a CNF formula.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	for cnf.Var(s.NumVars()) < cnf.Var(f.NumVars) {
+		s.NewVar()
+	}
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddClause adds a problem clause. It returns false if the solver is
+// now in an unsatisfiable state at the top level. Adding clauses is
+// legal between Solve calls (incremental solving); the solver
+// backtracks to level 0 first.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.okay {
+		return false
+	}
+	s.cancelUntil(0)
+	for _, l := range lits {
+		s.ensureVar(l.Var())
+	}
+	// Normalize: drop duplicates and false lits; detect tautology/satisfied.
+	norm := make([]cnf.Lit, 0, len(lits))
+	seen := map[cnf.Lit]bool{}
+	for _, l := range lits {
+		switch {
+		case s.litValue(l) == lTrue:
+			return true // already satisfied at level 0
+		case s.litValue(l) == lFalse:
+			continue // drop
+		case seen[l.Not()]:
+			return true // tautology
+		case seen[l]:
+			continue
+		}
+		seen[l] = true
+		norm = append(norm, l)
+	}
+	switch len(norm) {
+	case 0:
+		s.okay = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], -1)
+		if s.propagate() >= 0 {
+			s.okay = false
+			return false
+		}
+		return true
+	}
+	s.attachClause(norm, false)
+	return true
+}
+
+func (s *Solver) attachClause(lits []cnf.Lit, learnt bool) int {
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, clause{lits: lits, learnt: learnt, act: 0})
+	s.watches[lits[0].Not()] = append(s.watches[lits[0].Not()], watcher{cref, lits[1]})
+	s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{cref, lits[0]})
+	if learnt {
+		s.learntCnt++
+	}
+	return cref
+}
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from int32) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.polarity[v] = !l.Neg()
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+func (s *Solver) decisionLevel() int { return len(s.limits) }
+
+// propagate performs unit propagation. It returns the index of a
+// conflicting clause, or -1 if no conflict.
+func (s *Solver) propagate() int {
+	for s.trailQ < len(s.trail) {
+		p := s.trail[s.trailQ]
+		s.trailQ++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.litValue(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := &s.clauses[w.cref]
+			if c.deleted {
+				continue
+			}
+			lits := c.lits
+			// Ensure lits[1] is the false watched literal p.Not().
+			if lits[0] == p.Not() {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				kept = append(kept, watcher{w.cref, first})
+				continue
+			}
+			// Look for a new watch.
+			found := false
+			for k := 2; k < len(lits); k++ {
+				if s.litValue(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{w.cref, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{w.cref, first})
+			if s.litValue(first) == lFalse {
+				// Conflict: keep the remaining watchers and bail.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[p] = kept
+				s.trailQ = len(s.trail)
+				return w.cref
+			}
+			s.uncheckedEnqueue(first, int32(w.cref))
+		}
+		s.watches[p] = kept
+	}
+	return -1
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.limits[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = -1
+		if !s.heap.inHeap(int(v)) {
+			s.heap.insert(int(v))
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailQ = bound
+	s.limits = s.limits[:lvl]
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heap.inHeap(int(v)) {
+		s.heap.decrease(int(v))
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += float32(s.claInc)
+	if c.act > 1e30 {
+		for i := range s.clauses {
+			s.clauses[i].act *= 1e-30
+		}
+		s.claInc *= 1e-30
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{0} // placeholder for asserting literal
+	seen := s.seen
+	counter := 0
+	p := cnf.Lit(-1)
+	idx := len(s.trail) - 1
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		start := 0
+		if p != cnf.Lit(-1) {
+			start = 1 // skip the asserting literal of the reason clause
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find next literal on trail to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Not()
+			break
+		}
+		confl = int(s.reason[v])
+	}
+
+	// Clause minimization: drop literals implied by the rest. The vars
+	// of learnt[1:] are still marked in seen from the resolution loop.
+	marked := make([]cnf.Var, 0, len(learnt))
+	for _, l := range learnt[1:] {
+		marked = append(marked, l.Var())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		if r < 0 {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range s.clauses[r].lits[1:] {
+			if !seen[q.Var()] && s.level[q.Var()] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+	for _, v := range marked {
+		seen[v] = false
+	}
+
+	// Backtrack level: max level among learnt[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	return learnt, btLevel
+}
+
+func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
+	levels := map[int32]bool{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = true
+	}
+	return int32(len(levels))
+}
+
+func (s *Solver) pickBranchLit() cnf.Lit {
+	// Occasional random decision diversifies the search.
+	if s.rng.Float64() < 0.02 {
+		v := cnf.Var(s.rng.Intn(len(s.assigns)))
+		if s.assigns[v] == lUndef {
+			return cnf.MkLit(v, !s.polarity[v])
+		}
+	}
+	for {
+		if s.heap.empty() {
+			return cnf.Lit(-1)
+		}
+		v := cnf.Var(s.heap.removeMin())
+		if s.assigns[v] == lUndef {
+			return cnf.MkLit(v, !s.polarity[v])
+		}
+	}
+}
+
+// reduceDB removes roughly half of the learnt clauses, preferring high
+// LBD and low activity. Glue clauses (LBD <= 2) and reason clauses are
+// kept.
+func (s *Solver) reduceDB() {
+	type cand struct {
+		cref int
+		act  float32
+		lbd  int32
+	}
+	locked := make(map[int]bool)
+	for _, v := range s.trail {
+		if r := s.reason[v.Var()]; r >= 0 {
+			locked[int(r)] = true
+		}
+	}
+	var cands []cand
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted && c.lbd > 2 && !locked[i] && len(c.lits) > 2 {
+			cands = append(cands, cand{i, c.act, c.lbd})
+		}
+	}
+	if len(cands) < 2 {
+		return
+	}
+	// Partial sort: delete the worse half (high lbd, low act first).
+	worse := func(a, b cand) bool {
+		if a.lbd != b.lbd {
+			return a.lbd > b.lbd
+		}
+		return a.act < b.act
+	}
+	sort.Slice(cands, func(i, j int) bool { return worse(cands[i], cands[j]) })
+	for _, c := range cands[:len(cands)/2] {
+		s.clauses[c.cref].deleted = true
+		s.clauses[c.cref].lits = nil
+		s.learntCnt--
+		s.stats.Removed++
+	}
+}
+
+// luby returns the x-th element (0-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(x int64) int64 {
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// SetDeadline aborts Solve with Unknown after the wall-clock deadline.
+// The zero time disables the deadline.
+func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
+
+// SetConflictBudget aborts Solve with Unknown after n conflicts.
+// Negative n means unlimited.
+func (s *Solver) SetConflictBudget(n int64) { s.confBudget = n }
+
+// Stats returns accumulated counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Okay reports whether the solver is still consistent at the top level
+// (false once an unconditional contradiction has been derived).
+func (s *Solver) Okay() bool { return s.okay }
+
+// Model returns the satisfying assignment found by the last Sat solve;
+// index by variable.
+func (s *Solver) Model() []bool { return s.model }
+
+// ModelValue returns the model value of a literal.
+func (s *Solver) ModelValue(l cnf.Lit) bool {
+	v := s.model[l.Var()]
+	if l.Neg() {
+		return !v
+	}
+	return v
+}
+
+// Solve searches for a satisfying assignment under the given
+// assumptions. It is incremental: clauses may be added between calls.
+func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	if !s.okay {
+		return Unsat
+	}
+	for _, a := range assumptions {
+		s.ensureVar(a.Var())
+	}
+	s.assumps = assumptions
+	defer s.cancelUntil(0)
+
+	s.maxLearnt = float64(len(s.clauses))*0.3 + 1000
+	var restarts int64
+	checkCounter := 0
+
+	for {
+		budget := luby(restarts) * 128
+		st := s.search(budget, &checkCounter)
+		if st != Unknown {
+			return st
+		}
+		// Distinguish restart from abort.
+		if s.aborted() {
+			return Unknown
+		}
+		restarts++
+		s.stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+func (s *Solver) aborted() bool {
+	if s.confBudget >= 0 && s.stats.Conflicts >= s.confBudget {
+		return true
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+// search runs CDCL until a result, a conflict budget for this restart
+// is exhausted (returns Unknown), or an abort condition triggers.
+func (s *Solver) search(nConflicts int64, checkCounter *int) Status {
+	var conflictsHere int64
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			// Conflict.
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			// Never backtrack past the assumption levels without
+			// reporting: if the asserting literal contradicts an
+			// assumption we will discover it on re-propagation.
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				cref := s.attachClause(learnt, true)
+				s.clauses[cref].lbd = s.computeLBD(learnt)
+				s.bumpClause(&s.clauses[cref])
+				s.uncheckedEnqueue(learnt[0], int32(cref))
+			}
+			s.stats.Learnt++
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if float64(s.learntCnt) > s.maxLearnt {
+				s.reduceDB()
+				s.maxLearnt *= 1.1
+			}
+			continue
+		}
+
+		// No conflict.
+		*checkCounter++
+		if *checkCounter&255 == 0 && s.aborted() {
+			return Unknown
+		}
+		if conflictsHere >= nConflicts {
+			return Unknown // restart
+		}
+
+		// Assumptions before free decisions.
+		var next cnf.Lit = cnf.Lit(-1)
+		for s.decisionLevel() < len(s.assumps) {
+			a := s.assumps[s.decisionLevel()]
+			switch s.litValue(a) {
+			case lTrue:
+				s.limits = append(s.limits, len(s.trail)) // dummy level
+				continue
+			case lFalse:
+				return Unsat // conflicting assumptions
+			default:
+				next = a
+			}
+			break
+		}
+		if next == cnf.Lit(-1) {
+			next = s.pickBranchLit()
+			if next == cnf.Lit(-1) {
+				// All variables assigned: model found.
+				s.model = make([]bool, len(s.assigns))
+				for v, a := range s.assigns {
+					s.model[v] = a == lTrue
+				}
+				return Sat
+			}
+			s.stats.Decisions++
+		}
+		s.limits = append(s.limits, len(s.trail))
+		if d := s.decisionLevel(); d > s.stats.MaxDepth {
+			s.stats.MaxDepth = d
+		}
+		s.uncheckedEnqueue(next, -1)
+	}
+}
+
+// SolveFormula is a convenience: build a solver over f and solve.
+func SolveFormula(f *cnf.Formula, deadline time.Time) (Status, []bool) {
+	s := New()
+	if !s.AddFormula(f) {
+		return Unsat, nil
+	}
+	if !deadline.IsZero() {
+		s.SetDeadline(deadline)
+	}
+	st := s.Solve()
+	return st, s.model
+}
+
+// String summarizes stats.
+func (st Stats) String() string {
+	return fmt.Sprintf("decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d maxdepth=%d",
+		st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learnt, st.Removed, st.MaxDepth)
+}

@@ -1,0 +1,253 @@
+// Package seq handles sequential circuits: a combinational core plus D
+// flip-flops, as used by the ISCAS-89/ITC-99 benchmarks the paper
+// locks. It provides cycle-accurate simulation, full-scan conversion
+// (the SAT-attack threat model used everywhere else in this library)
+// and time-frame unrolling (the standard reduction behind sequential
+// attacks when scan access is absent).
+package seq
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/netlist"
+)
+
+// Circuit is a sequential circuit. Comb is the combinational core in
+// the scan-converted layout produced by netlist.ParseBenchSeq: its
+// inputs are the primary inputs followed by the NumFF state bits, its
+// outputs the primary outputs followed by the NumFF next-state bits.
+type Circuit struct {
+	Name  string
+	Comb  *netlist.Netlist
+	NumPI int
+	NumPO int
+	NumFF int
+}
+
+// New wraps a combinational core with the given flip-flop count.
+func New(comb *netlist.Netlist, numFF int) (*Circuit, error) {
+	if numFF < 0 || numFF > len(comb.Inputs) || numFF > len(comb.Outputs) {
+		return nil, fmt.Errorf("seq: %d FFs incompatible with %d inputs / %d outputs",
+			numFF, len(comb.Inputs), len(comb.Outputs))
+	}
+	return &Circuit{
+		Name:  comb.Name,
+		Comb:  comb,
+		NumPI: len(comb.Inputs) - numFF,
+		NumPO: len(comb.Outputs) - numFF,
+		NumFF: numFF,
+	}, nil
+}
+
+// FromBench parses a sequential .bench file.
+func FromBench(name string, r io.Reader) (*Circuit, error) {
+	nl, nFF, err := netlist.ParseBenchSeq(name, r)
+	if err != nil {
+		return nil, err
+	}
+	return New(nl, nFF)
+}
+
+// State is the flip-flop contents.
+type State struct {
+	FF []bool
+}
+
+// Reset returns the all-zero power-on state.
+func (c *Circuit) Reset() *State { return &State{FF: make([]bool, c.NumFF)} }
+
+// Clone copies a state.
+func (s *State) Clone() *State { return &State{FF: append([]bool(nil), s.FF...)} }
+
+// Stepper simulates the circuit cycle by cycle.
+type Stepper struct {
+	c   *Circuit
+	sim *netlist.Simulator
+}
+
+// NewStepper prepares a cycle simulator.
+func (c *Circuit) NewStepper() (*Stepper, error) {
+	sim, err := netlist.NewSimulator(c.Comb)
+	if err != nil {
+		return nil, err
+	}
+	return &Stepper{c: c, sim: sim}, nil
+}
+
+// Step evaluates one clock cycle: it returns the primary outputs for
+// the given inputs and current state, and the next state.
+func (st *Stepper) Step(state *State, pi []bool) ([]bool, *State, error) {
+	if len(pi) != st.c.NumPI {
+		return nil, nil, fmt.Errorf("seq: got %d primary inputs, want %d", len(pi), st.c.NumPI)
+	}
+	if len(state.FF) != st.c.NumFF {
+		return nil, nil, fmt.Errorf("seq: state width %d, want %d", len(state.FF), st.c.NumFF)
+	}
+	in := make([]bool, 0, st.c.NumPI+st.c.NumFF)
+	in = append(in, pi...)
+	in = append(in, state.FF...)
+	out := st.sim.Eval(in)
+	po := append([]bool(nil), out[:st.c.NumPO]...)
+	next := &State{FF: append([]bool(nil), out[st.c.NumPO:]...)}
+	return po, next, nil
+}
+
+// Simulate runs the stimuli from the initial state, returning the
+// primary outputs per cycle and the final state.
+func (c *Circuit) Simulate(init *State, stimuli [][]bool) ([][]bool, *State, error) {
+	st, err := c.NewStepper()
+	if err != nil {
+		return nil, nil, err
+	}
+	state := init.Clone()
+	outs := make([][]bool, len(stimuli))
+	for t, pi := range stimuli {
+		var po []bool
+		po, state, err = st.Step(state, pi)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[t] = po
+	}
+	return outs, state, nil
+}
+
+// ScanConvert returns the full-scan combinational view (identical to
+// what netlist.ParseBench produces directly): state bits become
+// primary inputs, next-state bits primary outputs.
+func (c *Circuit) ScanConvert() *netlist.Netlist { return c.Comb.Clone() }
+
+// Unroll performs time-frame expansion over the given number of
+// cycles: the result is a purely combinational netlist whose inputs
+// are the initial state followed by per-cycle primary inputs, and
+// whose outputs are the per-cycle primary outputs followed by the
+// final state. Sequential attacks without scan access operate on this
+// expansion.
+func (c *Circuit) Unroll(cycles int) (*netlist.Netlist, error) {
+	if cycles < 1 {
+		return nil, fmt.Errorf("seq: cycles must be >= 1")
+	}
+	u := netlist.New(fmt.Sprintf("%s_u%d", c.Name, cycles))
+	// Initial state inputs.
+	state := make([]int, c.NumFF)
+	for i := range state {
+		state[i] = u.AddInput(fmt.Sprintf("s0_%d", i))
+	}
+	// Per-cycle primary inputs.
+	piIDs := make([][]int, cycles)
+	for t := 0; t < cycles; t++ {
+		piIDs[t] = make([]int, c.NumPI)
+		for i := 0; i < c.NumPI; i++ {
+			piIDs[t][i] = u.AddInput(fmt.Sprintf("pi%d_%d", t, i))
+		}
+	}
+
+	order, err := c.Comb.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	inputPos := make(map[int]int, len(c.Comb.Inputs)) // gate id -> input index
+	for i, id := range c.Comb.Inputs {
+		inputPos[id] = i
+	}
+
+	var poIDs [][]int
+	for t := 0; t < cycles; t++ {
+		// Copy the combinational core for frame t.
+		mapID := make([]int, c.Comb.NumGates())
+		for _, id := range order {
+			g := &c.Comb.Gates[id]
+			if g.Type == netlist.Input {
+				pos := inputPos[id]
+				if pos < c.NumPI {
+					mapID[id] = piIDs[t][pos]
+				} else {
+					mapID[id] = state[pos-c.NumPI]
+				}
+				continue
+			}
+			fanin := make([]int, len(g.Fanin))
+			for i, f := range g.Fanin {
+				fanin[i] = mapID[f]
+			}
+			mapID[id] = u.AddGate(fmt.Sprintf("f%d_%s", t, g.Name), g.Type, fanin...)
+		}
+		pos := make([]int, c.NumPO)
+		for i := 0; i < c.NumPO; i++ {
+			pos[i] = mapID[c.Comb.Outputs[i]]
+		}
+		poIDs = append(poIDs, pos)
+		next := make([]int, c.NumFF)
+		for i := 0; i < c.NumFF; i++ {
+			next[i] = mapID[c.Comb.Outputs[c.NumPO+i]]
+		}
+		state = next
+	}
+	for _, pos := range poIDs {
+		for _, id := range pos {
+			u.MarkOutput(id)
+		}
+	}
+	for _, id := range state {
+		u.MarkOutput(id)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// WriteBench emits the circuit in sequential .bench form (DFF gates
+// restored).
+func (c *Circuit) WriteBench(w io.Writer) error {
+	// Rebuild a netlist view with DFF gates. We can't express DFFs in
+	// the netlist type, so emit text directly from the comb layout.
+	nl := c.Comb
+	fmt.Fprintf(w, "# %s (sequential: %d PIs, %d POs, %d DFFs)\n", c.Name, c.NumPI, c.NumPO, c.NumFF)
+	for i := 0; i < c.NumPI; i++ {
+		fmt.Fprintf(w, "INPUT(%s)\n", nl.Gates[nl.Inputs[i]].Name)
+	}
+	for i := 0; i < c.NumPO; i++ {
+		fmt.Fprintf(w, "OUTPUT(%s)\n", nl.Gates[nl.Outputs[i]].Name)
+	}
+	for i := 0; i < c.NumFF; i++ {
+		q := nl.Gates[nl.Inputs[c.NumPI+i]].Name
+		d := nl.Gates[nl.Outputs[c.NumPO+i]].Name
+		fmt.Fprintf(w, "%s = DFF(%s)\n", q, d)
+	}
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, id := range order {
+		g := &nl.Gates[id]
+		if g.Type == netlist.Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = nl.Gates[f].Name
+		}
+		op := g.Type.String()
+		switch g.Type {
+		case netlist.Not:
+			op = "NOT"
+		case netlist.Buf:
+			op = "BUFF"
+		}
+		fmt.Fprintf(w, "%s = %s(%s)\n", g.Name, op, joinNames(names))
+	}
+	return nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

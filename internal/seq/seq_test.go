@@ -1,0 +1,248 @@
+package seq
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+)
+
+// counterBench is a 3-bit synchronous counter with enable: q += en.
+const counterBench = `
+INPUT(en)
+OUTPUT(carry)
+q0 = DFF(d0)
+q1 = DFF(d1)
+q2 = DFF(d2)
+d0 = XOR(q0, en)
+c0 = AND(q0, en)
+d1 = XOR(q1, c0)
+c1 = AND(q1, c0)
+d2 = XOR(q2, c1)
+carry = AND(q2, c1)
+`
+
+func parseCounter(t *testing.T) *Circuit {
+	t.Helper()
+	c, err := FromBench("counter", strings.NewReader(counterBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFromBenchGeometry(t *testing.T) {
+	c := parseCounter(t)
+	if c.NumPI != 1 || c.NumPO != 1 || c.NumFF != 3 {
+		t.Fatalf("geometry PI=%d PO=%d FF=%d, want 1/1/3", c.NumPI, c.NumPO, c.NumFF)
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	c := parseCounter(t)
+	st, err := c.NewStepper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := c.Reset()
+	value := func(s *State) int {
+		v := 0
+		for i, b := range s.FF {
+			if b {
+				v |= 1 << i
+			}
+		}
+		return v
+	}
+	carries := 0
+	for cycle := 1; cycle <= 20; cycle++ {
+		po, next, err := st.Step(state, []bool{true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if po[0] {
+			carries++
+		}
+		state = next
+		if got, want := value(state), cycle%8; got != want {
+			t.Fatalf("cycle %d: counter = %d, want %d", cycle, got, want)
+		}
+	}
+	if carries != 2 { // overflow at cycles 8 and 16
+		t.Errorf("saw %d carries in 20 cycles, want 2", carries)
+	}
+	// Enable low freezes the counter.
+	po, next, err := st.Step(state, []bool{false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po[0] {
+		t.Error("carry with enable low")
+	}
+	if value(next) != value(state) {
+		t.Error("counter advanced with enable low")
+	}
+}
+
+func TestSimulateMatchesStepper(t *testing.T) {
+	c := parseCounter(t)
+	stimuli := make([][]bool, 10)
+	for i := range stimuli {
+		stimuli[i] = []bool{i%3 != 0}
+	}
+	outs, final, err := c.Simulate(c.Reset(), stimuli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 10 {
+		t.Fatalf("outs %d", len(outs))
+	}
+	// Re-run manually.
+	st, _ := c.NewStepper()
+	state := c.Reset()
+	for i, pi := range stimuli {
+		po, next, err := st.Step(state, pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if po[0] != outs[i][0] {
+			t.Fatalf("cycle %d mismatch", i)
+		}
+		state = next
+	}
+	for i := range state.FF {
+		if state.FF[i] != final.FF[i] {
+			t.Fatal("final state mismatch")
+		}
+	}
+}
+
+func TestUnrollMatchesSimulation(t *testing.T) {
+	c := parseCounter(t)
+	const cycles = 6
+	u, err := c.Unroll(cycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Inputs) != c.NumFF+cycles*c.NumPI {
+		t.Fatalf("unrolled inputs %d", len(u.Inputs))
+	}
+	if len(u.Outputs) != cycles*c.NumPO+c.NumFF {
+		t.Fatalf("unrolled outputs %d", len(u.Outputs))
+	}
+	sim, err := netlist.NewSimulator(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		stimuli := make([][]bool, cycles)
+		in := make([]bool, 0, c.NumFF+cycles)
+		init := c.Reset()
+		for i := range init.FF {
+			init.FF[i] = trial&(1<<i) != 0
+		}
+		in = append(in, init.FF...)
+		for t2 := range stimuli {
+			stimuli[t2] = []bool{(trial+t2)%2 == 0}
+			in = append(in, stimuli[t2]...)
+		}
+		want, wantFinal, err := c.Simulate(init, stimuli)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := sim.Eval(in)
+		for t2 := 0; t2 < cycles; t2++ {
+			if out[t2] != want[t2][0] {
+				t.Fatalf("trial %d cycle %d PO mismatch", trial, t2)
+			}
+		}
+		for i := 0; i < c.NumFF; i++ {
+			if out[cycles+i] != wantFinal.FF[i] {
+				t.Fatalf("trial %d final state bit %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestWriteBenchRoundTrip(t *testing.T) {
+	c := parseCounter(t)
+	var buf bytes.Buffer
+	if err := c.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromBench("counter", &buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if back.NumFF != 3 || back.NumPI != 1 {
+		t.Fatalf("round trip geometry changed: %+v", back)
+	}
+	// Behaviour identical over a few cycles.
+	stimuli := [][]bool{{true}, {true}, {false}, {true}}
+	a, _, err := c.Simulate(c.Reset(), stimuli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := back.Simulate(back.Reset(), stimuli)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] {
+			t.Fatalf("cycle %d differs after round trip", i)
+		}
+	}
+}
+
+func TestSequentialGPSMatchesCombinationalReference(t *testing.T) {
+	// Build a 1-chip combinational GPS step and iterate it as a
+	// sequential machine; the chip stream must match GPSCARef.
+	nl, err := circuit.GPSCA(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: inputs = 20 state bits (no PIs), outputs = 1 chip + 20
+	// next-state bits.
+	c, err := New(nl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumPI != 0 || c.NumPO != 1 {
+		t.Fatalf("unexpected geometry %+v", c)
+	}
+	st, err := c.NewStepper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := c.Reset()
+	for i := range state.FF {
+		state.FF[i] = true // all-ones epoch
+	}
+	var chips []bool
+	for i := 0; i < 32; i++ {
+		po, next, err := st.Step(state, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chips = append(chips, po[0])
+		state = next
+	}
+	want, _, _ := circuit.GPSCARef(1, 32, 0x3FF, 0x3FF)
+	for i := range want {
+		if chips[i] != want[i] {
+			t.Fatalf("chip %d = %v, want %v", i, chips[i], want[i])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	nl := netlist.New("bad")
+	nl.AddInput("a")
+	g := nl.AddGate("g", netlist.Not, 0)
+	nl.MarkOutput(g)
+	if _, err := New(nl, 5); err == nil {
+		t.Error("FF count exceeding I/O accepted")
+	}
+}
