@@ -1,0 +1,75 @@
+#!/bin/sh
+# ci.sh — the full local CI gate. Run from the repository root:
+#
+#   ./ci.sh
+#
+# Steps: formatting, vet, build, tests under the race detector, then
+# the netlint gate — every checked-in .bench benchmark and a freshly
+# locked circuit must lint clean, and deliberately broken netlists
+# (combinational cycle, dead key bit) must be rejected with the right
+# analyzer named.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== netlint: checked-in benchmarks =="
+go run ./cmd/netlint testdata/...
+
+echo "== netlint: freshly locked circuit =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/locker -in testdata/c17.bench -scheme ril -size 2x2 -blocks 1 \
+    -seed 1 -out "$tmp/locked.bench" -keyout "$tmp/key.txt"
+go run ./cmd/netlint -key "$tmp/key.txt" "$tmp/locked.bench"
+
+echo "== netlint: broken netlists must be rejected =="
+cat > "$tmp/cycle.bench" <<'EOF'
+INPUT(x)
+OUTPUT(y)
+y = AND(a, x)
+a = OR(y, x)
+EOF
+if go run ./cmd/netlint "$tmp/cycle.bench" > "$tmp/cycle.out" 2>&1; then
+    echo "ci: netlint accepted a cyclic netlist" >&2
+    cat "$tmp/cycle.out" >&2
+    exit 1
+fi
+grep -q 'comb-cycle' "$tmp/cycle.out" || {
+    echo "ci: cycle not attributed to comb-cycle:" >&2
+    cat "$tmp/cycle.out" >&2
+    exit 1
+}
+
+cat > "$tmp/deadkey.bench" <<'EOF'
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = NOT(a)
+EOF
+if go run ./cmd/netlint "$tmp/deadkey.bench" > "$tmp/deadkey.out" 2>&1; then
+    echo "ci: netlint accepted a dead key bit" >&2
+    cat "$tmp/deadkey.out" >&2
+    exit 1
+fi
+grep -q 'key-influence' "$tmp/deadkey.out" || {
+    echo "ci: dead key bit not attributed to key-influence:" >&2
+    cat "$tmp/deadkey.out" >&2
+    exit 1
+}
+
+echo "ci: all checks passed"

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/netlint"
 	"repro/internal/netlist"
 )
 
@@ -34,6 +35,7 @@ func main() {
 		hd      = flag.Int("hd", 0, "SFLL Hamming distance h")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		scan    = flag.Bool("scan", false, "add scan-enable obfuscation (ril only)")
+		nolint  = flag.Bool("nolint", false, "emit the locked netlist even when netlint finds Error-level defects")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -50,9 +52,29 @@ func main() {
 		fail(err)
 	}
 
-	locked, keyPos, key, extra, err := lock(orig, *scheme, *size, *blocks, *keybits, *hd, *seed, *scan)
+	locked, keyPos, key, lintOpts, extra, err := lock(orig, *scheme, *size, *blocks, *keybits, *hd, *seed, *scan)
 	if err != nil {
 		fail(err)
+	}
+
+	// Refuse to emit a structurally unsound or weakened lock: a cycle,
+	// an undriven net, or dead key material is a defect of the lock, not
+	// a property for the attacker to discover.
+	lint, err := netlint.Run(locked, lintOpts)
+	if err != nil {
+		fail(err)
+	}
+	for _, d := range lint.Errors() {
+		fmt.Fprintf(os.Stderr, "locker: netlint: %s\n", d)
+	}
+	if lint.HasErrors() {
+		if !*nolint {
+			fail(fmt.Errorf("locked netlist failed %d Error-level netlint check(s); rerun with -nolint to emit anyway", lint.Count(netlint.Error)))
+		}
+		fmt.Fprintln(os.Stderr, "locker: -nolint set, emitting despite netlint errors")
+	}
+	if kr := lint.KeyReport; kr != nil {
+		fmt.Fprintf(os.Stderr, "locker: effective key length %d of %d nominal bits\n", kr.Effective, kr.Nominal)
 	}
 
 	w := os.Stdout
@@ -92,21 +114,30 @@ func main() {
 	}
 }
 
-func lock(orig *netlist.Netlist, scheme, sizeStr string, blocks, keybits, hd int, seed int64, scan bool) (*netlist.Netlist, []int, []bool, string, error) {
+func lock(orig *netlist.Netlist, scheme, sizeStr string, blocks, keybits, hd int, seed int64, scan bool) (*netlist.Netlist, []int, []bool, netlint.Options, string, error) {
 	switch scheme {
 	case "ril":
 		size, err := core.ParseSize(sizeStr)
 		if err != nil {
-			return nil, nil, nil, "", err
+			return nil, nil, nil, netlint.Options{}, "", err
 		}
 		res, err := core.Lock(orig, core.Options{
 			Blocks: blocks, Size: size, Seed: seed, ScanEnable: scan,
 		})
 		if err != nil {
-			return nil, nil, nil, "", err
+			return nil, nil, nil, netlint.Options{}, "", err
 		}
 		extra := fmt.Sprintf("locker: %s", res.Overhead())
-		return res.Locked, res.KeyInputPos, res.Key, extra, nil
+		lintOpts := netlint.Options{
+			Key: keyByName(res.Locked, res.KeyInputPos, res.Key),
+			Scan: &netlint.ScanSpec{Chains: []netlint.ScanChainSpec{{
+				Name:     "keychain",
+				Width:    core.NewKeyChain(res).Len(),
+				Cells:    res.KeyNames,
+				KeyChain: true,
+			}}},
+		}
+		return res.Locked, res.KeyInputPos, res.Key, lintOpts, extra, nil
 	case "lut":
 		l, err := baselines.LUTLock(orig, blocks, seed)
 		return unpack(l, err)
@@ -129,14 +160,25 @@ func lock(orig *netlist.Netlist, scheme, sizeStr string, blocks, keybits, hd int
 		l, err := baselines.MESOLock(orig, blocks, seed)
 		return unpack(l, err)
 	}
-	return nil, nil, nil, "", fmt.Errorf("unknown scheme %q", scheme)
+	return nil, nil, nil, netlint.Options{}, "", fmt.Errorf("unknown scheme %q", scheme)
 }
 
-func unpack(l *baselines.Locked, err error) (*netlist.Netlist, []int, []bool, string, error) {
+func unpack(l *baselines.Locked, err error) (*netlist.Netlist, []int, []bool, netlint.Options, string, error) {
 	if err != nil {
-		return nil, nil, nil, "", err
+		return nil, nil, nil, netlint.Options{}, "", err
 	}
-	return l.Netlist, l.KeyPos, l.Key, "", nil
+	opts := netlint.Options{Key: keyByName(l.Netlist, l.KeyPos, l.Key)}
+	return l.Netlist, l.KeyPos, l.Key, opts, "", nil
+}
+
+// keyByName maps key input names to their correct values for the
+// const-lut analyzer.
+func keyByName(nl *netlist.Netlist, keyPos []int, key []bool) map[string]bool {
+	m := make(map[string]bool, len(key))
+	for i, pos := range keyPos {
+		m[nl.Gates[nl.Inputs[pos]].Name] = key[i]
+	}
+	return m
 }
 
 func fail(err error) {

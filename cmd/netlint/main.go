@@ -1,0 +1,213 @@
+// Command netlint statically analyzes .bench netlists: combinational
+// cycles (with the concrete cycle path), undriven nets, dead logic,
+// key bits that influence no primary output (effective vs. nominal key
+// length), constant/pass-through LUT configurations, and scan-chain
+// integrity. It parses laxly, so structurally broken netlists — the
+// ones worth linting — are analyzed rather than rejected.
+//
+// Usage:
+//
+//	netlint [flags] <path ...>
+//
+// Each path may be a .bench file, a directory, or a Go-style dir/...
+// pattern; directories are walked recursively for *.bench files.
+//
+//	netlint testdata/...
+//	netlint -key key.txt locked.bench
+//	netlint -json -analyzers comb-cycle,key-influence locked.bench
+//
+// Exit status: 0 when no Error-level diagnostics were found, 1 when at
+// least one netlist has errors, 2 on usage or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/netlint"
+	"repro/internal/netlist"
+)
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		keyFile   = flag.String("key", "", "key file (name=bit per line) enabling const-lut evaluation")
+		keyPrefix = flag.String("keyprefix", "keyinput", "key input name prefix")
+		names     = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		minSev    = flag.String("severity", "info", "minimum severity to print: info|warn|error")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range netlint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "netlint: no input files (try: netlint testdata/...)")
+		os.Exit(2)
+	}
+	threshold, err := netlint.ParseSeverity(*minSev)
+	if err != nil {
+		fail(err)
+	}
+	var analyzers []*netlint.Analyzer
+	if *names != "" {
+		analyzers, err = netlint.ByName(strings.Split(*names, ",")...)
+		if err != nil {
+			fail(err)
+		}
+	}
+	opts := netlint.Options{KeyPrefix: *keyPrefix}
+	if *keyFile != "" {
+		opts.Key, err = readKeyFile(*keyFile)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	files, err := expandPaths(flag.Args())
+	if err != nil {
+		fail(err)
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "netlint: no .bench files matched")
+		os.Exit(2)
+	}
+
+	failed := false
+	var results []*netlint.Result
+	for _, path := range files {
+		res, err := lintFile(path, opts, analyzers)
+		if err != nil {
+			fail(err)
+		}
+		if res.HasErrors() {
+			failed = true
+		}
+		if *jsonOut {
+			results = append(results, res)
+			continue
+		}
+		printed := false
+		for _, d := range res.Diagnostics {
+			if d.Severity < threshold {
+				continue
+			}
+			fmt.Printf("%s: %s\n", path, d)
+			printed = true
+		}
+		if kr := res.KeyReport; kr != nil && threshold == netlint.Info {
+			fmt.Printf("%s: key-influence histogram (outputs reached -> key bits):", path)
+			for _, bin := range kr.Histogram {
+				fmt.Printf(" %d->%d", bin.Outputs, bin.Keys)
+			}
+			fmt.Println()
+		}
+		if printed || res.HasErrors() {
+			fmt.Printf("%s: %d error(s), %d warning(s)\n", path, res.Count(netlint.Error), res.Count(netlint.Warn))
+		} else {
+			fmt.Printf("%s: ok\n", path)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string, opts netlint.Options, analyzers []*netlint.Analyzer) (*netlint.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Lax parse: the linter exists precisely to diagnose netlists the
+	// strict parser would reject.
+	nl, _, err := netlist.ParseBenchLax(path, f)
+	if err != nil {
+		return nil, err
+	}
+	return netlint.Run(nl, opts, analyzers...)
+}
+
+// expandPaths resolves files, directories and Go-style dir/...
+// patterns into a sorted list of .bench files.
+func expandPaths(args []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			files = append(files, p)
+		}
+	}
+	for _, arg := range args {
+		root := strings.TrimSuffix(arg, "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		if root == "" {
+			root = "."
+		}
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".bench") {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+func readKeyFile(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	key := map[string]bool{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kv := strings.SplitN(line, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("key file %s line %d: want name=bit, got %q", path, i+1, line)
+		}
+		key[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1]) == "1"
+	}
+	return key, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netlint:", err)
+	os.Exit(2)
+}

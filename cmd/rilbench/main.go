@@ -31,6 +31,7 @@ func main() {
 		mc      = flag.Int("mc", 100, "Monte-Carlo instances for fig6")
 		traces  = flag.Int("traces", 400, "power traces for psca")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		nolint  = flag.Bool("nolint", false, "skip the netlint gate on freshly locked circuits")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		}
 		csvOut = *csvDir
 	}
-	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed}
+	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint}
 	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
 		os.Exit(1)

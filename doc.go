@@ -4,7 +4,8 @@
 // The library lives under internal/: netlist and benchmark synthesis,
 // a CDCL SAT solver, the RIL-Block obfuscation core, oracle-guided
 // attacks (SAT attack, AppSAT, ScanSAT, removal), STT-MTJ device and
-// MRAM-LUT circuit simulation, and power side-channel analysis. The
+// MRAM-LUT circuit simulation, power side-channel analysis, and a
+// static netlist linter (netlint) gating every emitted lock. The
 // cmd/ tools and examples/ programs exercise the public surface; the
 // root-level benchmarks regenerate every table and figure of the
 // paper's evaluation (see DESIGN.md and EXPERIMENTS.md).

@@ -1,0 +1,152 @@
+package netlint
+
+import "strings"
+
+// CombCycle reports combinational cycles. It runs Tarjan's SCC
+// algorithm over the fanin edges and, for every non-trivial strongly
+// connected component (and every self-loop), reports one Error
+// containing an actual cycle path through the component — not just
+// "cycle exists" — so the offending switchbox insertion or optimizer
+// rewrite can be located.
+var CombCycle = &Analyzer{
+	Name: "comb-cycle",
+	Doc:  "detect combinational cycles and report a concrete cycle path",
+	Run:  runCombCycle,
+}
+
+func runCombCycle(p *Pass) error {
+	for _, scc := range tarjanSCC(p.Netlist.Gates, func(id int) []int {
+		return p.Netlist.Gates[id].Fanin
+	}) {
+		if len(scc) == 1 && !selfLoop(p, scc[0]) {
+			continue
+		}
+		anchor := scc[0]
+		for _, id := range scc {
+			if id < anchor {
+				anchor = id
+			}
+		}
+		p.Report(Error, anchor, "combinational cycle: %s", cyclePath(p, scc, anchor))
+	}
+	return nil
+}
+
+func selfLoop(p *Pass, id int) bool {
+	for _, f := range p.Netlist.Gates[id].Fanin {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// cyclePath walks fanin edges restricted to the SCC from the anchor
+// gate until a gate repeats, then renders the enclosed cycle in signal
+// flow direction (driver first). Picking the lowest-ID in-SCC fanin at
+// each step keeps the path deterministic.
+func cyclePath(p *Pass, scc []int, anchor int) string {
+	in := make(map[int]bool, len(scc))
+	for _, id := range scc {
+		in[id] = true
+	}
+	visitedAt := map[int]int{}
+	var path []int
+	cur := anchor
+	for {
+		if at, seen := visitedAt[cur]; seen {
+			path = path[at:]
+			break
+		}
+		visitedAt[cur] = len(path)
+		path = append(path, cur)
+		next := -1
+		for _, f := range p.Netlist.Gates[cur].Fanin {
+			if in[f] && (next < 0 || f < next) {
+				next = f
+			}
+		}
+		cur = next
+	}
+	// path follows fanin (driver) edges; reverse for signal flow.
+	names := make([]string, 0, len(path)+1)
+	for i := len(path) - 1; i >= 0; i-- {
+		names = append(names, p.Netlist.Gates[path[i]].Name)
+	}
+	names = append(names, names[0])
+	return strings.Join(names, " -> ")
+}
+
+// tarjanSCC computes strongly connected components iteratively (the
+// recursive form overflows on deep circuits). Components are emitted
+// in a deterministic order given deterministic edge lists.
+func tarjanSCC[T any](nodes []T, edges func(int) []int) [][]int {
+	n := len(nodes)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		sccs    [][]int
+		stack   []int
+		counter int
+	)
+	type frame struct {
+		id   int
+		next int
+	}
+	var call []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{id: root})
+		index[root], low[root] = counter, counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			es := edges(f.id)
+			if f.next < len(es) {
+				child := es[f.next]
+				f.next++
+				if index[child] == unvisited {
+					index[child], low[child] = counter, counter
+					counter++
+					stack = append(stack, child)
+					onStack[child] = true
+					call = append(call, frame{id: child})
+				} else if onStack[child] && index[child] < low[f.id] {
+					low[f.id] = index[child]
+				}
+				continue
+			}
+			id := f.id
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].id
+				if low[id] < low[parent] {
+					low[parent] = low[id]
+				}
+			}
+			if low[id] == index[id] {
+				var scc []int
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == id {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,79 @@
+package netlint
+
+import (
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// ConstLUT decodes the configuration of every RIL 2-input LUT whose
+// four truth-table cells are key inputs with known values (supplied
+// via Options.Key) and flags LUTs configured as a constant or a
+// single-input pass-through. Such a LUT is structurally removable by
+// the constant-folding / identity pass an attacker would run first
+// (internal/opt collapses MUX(s,0,0), MUX-as-BUF, etc.), so its four
+// key bits contribute nothing to SAT hardness. Without known key
+// values the analyzer is silent: the configuration of an unbound LUT
+// is exactly what the lock hides.
+//
+// The structural pattern matched is the three-MUX lowering of
+// core.buildLUT2 (paper Fig. 1): out = MUX(A, m0, m1) with
+// m0 = MUX(B, f(0,0), f(0,1)) and m1 = MUX(B, f(1,0), f(1,1)).
+var ConstLUT = &Analyzer{
+	Name: "const-lut",
+	Doc:  "flag RIL LUTs whose key configures a constant or pass-through function",
+	Run:  runConstLUT,
+}
+
+func runConstLUT(p *Pass) error {
+	if len(p.Opts.Key) == 0 {
+		return nil
+	}
+	nl := p.Netlist
+	// keyVal resolves a gate to its known key value; ok=false when the
+	// gate is not a key input with a supplied value.
+	keyVal := func(id int) (bool, bool) {
+		if nl.Gates[id].Type != netlist.Input {
+			return false, false
+		}
+		v, ok := p.Opts.Key[nl.Gates[id].Name]
+		return v, ok
+	}
+	isRowMux := func(id int) bool {
+		return nl.Gates[id].Type == netlist.Mux
+	}
+	for id := range nl.Gates {
+		g := &nl.Gates[id]
+		if g.Type != netlist.Mux {
+			continue
+		}
+		m0, m1 := g.Fanin[1], g.Fanin[2]
+		if !isRowMux(m0) || !isRowMux(m1) {
+			continue
+		}
+		r0, r1 := &nl.Gates[m0], &nl.Gates[m1]
+		if r0.Fanin[0] != r1.Fanin[0] {
+			continue // rows must share the B select
+		}
+		k00, kv00 := keyVal(r0.Fanin[1])
+		k01, kv01 := keyVal(r0.Fanin[2])
+		k10, kv10 := keyVal(r1.Fanin[1])
+		k11, kv11 := keyVal(r1.Fanin[2])
+		if !(kv00 && kv01 && kv10 && kv11) {
+			continue
+		}
+		// Func2 packs bit i = f(A,B) with i = 2A+B.
+		var f logic.Func2
+		for i, bit := range []bool{k00, k01, k10, k11} {
+			if bit {
+				f |= 1 << i
+			}
+		}
+		switch {
+		case f == logic.Const0 || f == logic.Const1:
+			p.Report(Warn, id, "LUT %q is configured as constant %s — removable by resynthesis, its 4 key bits add no SAT hardness", g.Name, f)
+		case !f.DependsOnA() || !f.DependsOnB():
+			p.Report(Warn, id, "LUT %q is configured as single-input pass-through (%s) — collapsible by resynthesis", g.Name, f)
+		}
+	}
+	return nil
+}

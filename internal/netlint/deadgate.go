@@ -1,0 +1,28 @@
+package netlint
+
+import "repro/internal/netlist"
+
+// DeadGate reports logic gates outside the transitive fanin of every
+// primary output. Dead logic is not functionally wrong — Prune removes
+// it — but after a locking transform it usually means a block output
+// was spliced into a cone nobody observes, silently wasting key
+// material (the key-influence analyzer then escalates the key bits
+// involved to Error). Primary inputs are exempt: their positions
+// define the input-vector layout and are retained deliberately.
+var DeadGate = &Analyzer{
+	Name: "dead-gate",
+	Doc:  "detect gates that cannot reach any primary output",
+	Run:  runDeadGate,
+}
+
+func runDeadGate(p *Pass) error {
+	live := p.Netlist.TransitiveFanin(p.Netlist.Outputs...)
+	for id := range p.Netlist.Gates {
+		g := &p.Netlist.Gates[id]
+		if g.Type == netlist.Input || live[id] {
+			continue
+		}
+		p.Report(Warn, id, "gate %q (%s) cannot reach any primary output", g.Name, g.Type)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package netlint
+
+import "sort"
+
+// KeyInfluence taints the netlist from each key input and counts the
+// primary outputs its transitive fanout reaches. A key bit reaching
+// zero outputs is an Error: its value is unobservable, so it inflates
+// the nominal key length without costing the SAT attack a single
+// iteration — the classic dead-key-material pitfall of naively applied
+// routing/logic locking. The analyzer also fills Result.KeyReport with
+// the per-bit influence and a reachable-output-count histogram, from
+// which effective vs. nominal key length is reported (as an Info
+// diagnostic, or a Warn when they differ).
+var KeyInfluence = &Analyzer{
+	Name: "key-influence",
+	Doc:  "taint key inputs forward; flag key bits that influence no primary output",
+	Run:  runKeyInfluence,
+}
+
+func runKeyInfluence(p *Pass) error {
+	keys := p.KeyInputs()
+	if len(keys) == 0 {
+		return nil
+	}
+	fanouts := p.Fanouts()
+	// Distinct output gates, remembering that one gate may be marked as
+	// several primary outputs (count gates, not markings).
+	outputSet := make(map[int]bool, len(p.Netlist.Outputs))
+	for _, o := range p.Netlist.Outputs {
+		outputSet[o] = true
+	}
+	report := &KeyReport{Nominal: len(keys)}
+	mark := make([]int, len(p.Netlist.Gates)) // visitation stamp per key
+	for i := range mark {
+		mark[i] = -1
+	}
+	var stack []int
+	for ki, key := range keys {
+		reached := 0
+		stack = append(stack[:0], key)
+		mark[key] = ki
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if outputSet[id] {
+				reached++
+			}
+			for _, f := range fanouts[id] {
+				if mark[f] != ki {
+					mark[f] = ki
+					stack = append(stack, f)
+				}
+			}
+		}
+		name := p.Netlist.Gates[key].Name
+		report.Influence = append(report.Influence, KeyBitInfluence{Key: name, Outputs: reached})
+		if reached == 0 {
+			p.Report(Error, key, "key input %q influences no primary output (dead key bit)", name)
+		} else {
+			report.Effective++
+		}
+	}
+	hist := map[int]int{}
+	for _, inf := range report.Influence {
+		hist[inf.Outputs]++
+	}
+	for outputs, keys := range hist {
+		report.Histogram = append(report.Histogram, HistBin{Outputs: outputs, Keys: keys})
+	}
+	sort.Slice(report.Histogram, func(i, j int) bool {
+		return report.Histogram[i].Outputs < report.Histogram[j].Outputs
+	})
+	p.keyReport = report
+	sev := Info
+	if report.Effective < report.Nominal {
+		sev = Warn
+	}
+	p.Report(sev, -1, "effective key length %d of %d nominal bits", report.Effective, report.Nominal)
+	return nil
+}

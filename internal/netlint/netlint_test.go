@@ -1,0 +1,353 @@
+package netlint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// only returns the diagnostics of one analyzer.
+func only(t *testing.T, res *Result, analyzer string) []Diagnostic {
+	t.Helper()
+	var out []Diagnostic
+	for _, d := range res.Diagnostics {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func mustRun(t *testing.T, nl *netlist.Netlist, opts Options, as ...*Analyzer) *Result {
+	t.Helper()
+	res, err := Run(nl, opts, as...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestCombCycleFiresOnce(t *testing.T) {
+	nl := netlist.New("cyclic")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	g1 := nl.AddGate("g1", netlist.And, a, b)
+	g2 := nl.AddGate("g2", netlist.Or, g1, a)
+	nl.MarkOutput(g2)
+	nl.SetFanin(g1, g2, b) // closes g1 <-> g2
+
+	res := mustRun(t, nl, Options{}, CombCycle)
+	diags := only(t, res, "comb-cycle")
+	if len(diags) != 1 {
+		t.Fatalf("comb-cycle fired %d times, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Severity != Error {
+		t.Errorf("severity = %s, want error", d.Severity)
+	}
+	for _, name := range []string{"g1", "g2"} {
+		if !strings.Contains(d.Message, name) {
+			t.Errorf("cycle path %q missing gate %q", d.Message, name)
+		}
+	}
+}
+
+func TestCombCycleSelfLoop(t *testing.T) {
+	nl := netlist.New("selfloop")
+	a := nl.AddInput("a")
+	g := nl.AddGate("g", netlist.And, a, a)
+	nl.MarkOutput(g)
+	nl.SetFanin(g, g, a)
+
+	res := mustRun(t, nl, Options{}, CombCycle)
+	if diags := only(t, res, "comb-cycle"); len(diags) != 1 {
+		t.Fatalf("self-loop fired %d times, want 1", len(diags))
+	}
+}
+
+func TestCombCycleCleanCircuit(t *testing.T) {
+	nl := netlist.New("clean")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	nl.MarkOutput(nl.AddGate("g", netlist.Nand, a, b))
+	res := mustRun(t, nl, Options{}, CombCycle)
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("clean circuit produced %v", res.Diagnostics)
+	}
+}
+
+func TestUndrivenFiresOnce(t *testing.T) {
+	nl := netlist.New("floating")
+	a := nl.AddInput("a")
+	ghost := nl.AddGate("ghost", netlist.Input) // undriven: not a primary input
+	nl.MarkOutput(nl.AddGate("y", netlist.And, a, ghost))
+
+	res := mustRun(t, nl, Options{}, Undriven)
+	diags := only(t, res, "undriven")
+	if len(diags) != 1 {
+		t.Fatalf("undriven fired %d times, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Severity != Error || diags[0].Gate != "ghost" {
+		t.Errorf("got %+v, want error on ghost", diags[0])
+	}
+}
+
+func TestUndrivenUnusedInputWarns(t *testing.T) {
+	nl := netlist.New("unused")
+	a := nl.AddInput("a")
+	nl.AddInput("spare")
+	nl.MarkOutput(nl.AddGate("y", netlist.Not, a))
+
+	res := mustRun(t, nl, Options{}, Undriven)
+	diags := only(t, res, "undriven")
+	if len(diags) != 1 || diags[0].Severity != Warn || diags[0].Gate != "spare" {
+		t.Fatalf("got %v, want one warn on spare", diags)
+	}
+}
+
+func TestDeadGateFiresOnce(t *testing.T) {
+	nl := netlist.New("dead")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	nl.MarkOutput(nl.AddGate("y", netlist.And, a, b))
+	nl.AddGate("orphan", netlist.Or, a, b) // never observed
+
+	res := mustRun(t, nl, Options{}, DeadGate)
+	diags := only(t, res, "dead-gate")
+	if len(diags) != 1 || diags[0].Gate != "orphan" || diags[0].Severity != Warn {
+		t.Fatalf("got %v, want one warn on orphan", diags)
+	}
+}
+
+func TestKeyInfluenceDeadKeyBit(t *testing.T) {
+	nl := netlist.New("deadkey")
+	a := nl.AddInput("a")
+	k0 := nl.AddInput("keyinput0")
+	nl.AddInput("keyinput1") // feeds nothing: dead key material
+	nl.MarkOutput(nl.AddGate("y", netlist.Xor, a, k0))
+
+	res := mustRun(t, nl, Options{}, KeyInfluence)
+	diags := only(t, res, "key-influence")
+	var errs []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Error {
+			errs = append(errs, d)
+		}
+	}
+	if len(errs) != 1 {
+		t.Fatalf("key-influence errored %d times, want 1: %v", len(errs), diags)
+	}
+	if errs[0].Gate != "keyinput1" {
+		t.Errorf("dead key bit = %q, want keyinput1", errs[0].Gate)
+	}
+	kr := res.KeyReport
+	if kr == nil {
+		t.Fatal("missing KeyReport")
+	}
+	if kr.Nominal != 2 || kr.Effective != 1 {
+		t.Errorf("effective/nominal = %d/%d, want 1/2", kr.Effective, kr.Nominal)
+	}
+}
+
+func TestKeyInfluenceHistogram(t *testing.T) {
+	nl := netlist.New("hist")
+	a := nl.AddInput("a")
+	k0 := nl.AddInput("keyinput0")
+	k1 := nl.AddInput("keyinput1")
+	x := nl.AddGate("x", netlist.Xor, a, k0)
+	nl.MarkOutput(x)
+	nl.MarkOutput(nl.AddGate("y", netlist.Xnor, x, k1))
+
+	res := mustRun(t, nl, Options{}, KeyInfluence)
+	if res.HasErrors() {
+		t.Fatalf("unexpected errors: %v", res.Errors())
+	}
+	kr := res.KeyReport
+	if kr.Effective != 2 || kr.Nominal != 2 {
+		t.Fatalf("effective/nominal = %d/%d, want 2/2", kr.Effective, kr.Nominal)
+	}
+	// keyinput0 reaches both outputs, keyinput1 only the second.
+	want := map[string]int{"keyinput0": 2, "keyinput1": 1}
+	for _, inf := range kr.Influence {
+		if want[inf.Key] != inf.Outputs {
+			t.Errorf("influence[%s] = %d, want %d", inf.Key, inf.Outputs, want[inf.Key])
+		}
+	}
+	if len(kr.Histogram) != 2 || kr.Histogram[0].Outputs != 1 || kr.Histogram[0].Keys != 1 ||
+		kr.Histogram[1].Outputs != 2 || kr.Histogram[1].Keys != 1 {
+		t.Errorf("histogram = %+v", kr.Histogram)
+	}
+}
+
+// buildLUT mirrors core.buildLUT2's three-MUX lowering with key-input
+// truth-table cells.
+func buildLUT(nl *netlist.Netlist, a, b int) (out int, keys [4]string) {
+	var ids [4]int
+	for i := range ids {
+		name := nl.FreshName("keyinput")
+		ids[i] = nl.AddInput(name)
+		keys[i] = name
+	}
+	// ids in row order k00, k01, k10, k11.
+	m0 := nl.AddGate(nl.FreshName("m0"), netlist.Mux, b, ids[0], ids[1])
+	m1 := nl.AddGate(nl.FreshName("m1"), netlist.Mux, b, ids[2], ids[3])
+	return nl.AddGate(nl.FreshName("lut"), netlist.Mux, a, m0, m1), keys
+}
+
+func TestConstLUT(t *testing.T) {
+	cases := []struct {
+		name string
+		bits [4]bool // k00, k01, k10, k11
+		want int     // diagnostics expected
+		frag string
+	}{
+		{"const0", [4]bool{false, false, false, false}, 1, "constant"},
+		{"const1", [4]bool{true, true, true, true}, 1, "constant"},
+		{"bufA", [4]bool{false, false, true, true}, 1, "pass-through"},
+		{"notB", [4]bool{true, false, true, false}, 1, "pass-through"},
+		{"xor", [4]bool{false, true, true, false}, 0, ""},
+		{"and", [4]bool{false, false, false, true}, 0, ""},
+	}
+	for _, tc := range cases {
+		nl := netlist.New(tc.name)
+		a := nl.AddInput("a")
+		b := nl.AddInput("b")
+		out, keyNames := buildLUT(nl, a, b)
+		nl.MarkOutput(out)
+		key := map[string]bool{}
+		for i, name := range keyNames {
+			key[name] = tc.bits[i]
+		}
+		res := mustRun(t, nl, Options{Key: key}, ConstLUT)
+		diags := only(t, res, "const-lut")
+		if len(diags) != tc.want {
+			t.Errorf("%s: const-lut fired %d times, want %d: %v", tc.name, len(diags), tc.want, diags)
+			continue
+		}
+		if tc.want == 1 && !strings.Contains(diags[0].Message, tc.frag) {
+			t.Errorf("%s: message %q missing %q", tc.name, diags[0].Message, tc.frag)
+		}
+	}
+}
+
+func TestConstLUTSilentWithoutKey(t *testing.T) {
+	nl := netlist.New("nokey")
+	a := nl.AddInput("a")
+	b := nl.AddInput("b")
+	out, _ := buildLUT(nl, a, b)
+	nl.MarkOutput(out)
+	res := mustRun(t, nl, Options{}, ConstLUT)
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("const-lut must be silent without key values: %v", res.Diagnostics)
+	}
+}
+
+func scanFixture() (*netlist.Netlist, Options) {
+	nl := netlist.New("scan")
+	a := nl.AddInput("a")
+	k0 := nl.AddInput("keyinput0")
+	k1 := nl.AddInput("keyinput1")
+	x := nl.AddGate("x", netlist.Xor, a, k0)
+	nl.MarkOutput(nl.AddGate("y", netlist.Xnor, x, k1))
+	return nl, Options{}
+}
+
+func TestScanIntegrity(t *testing.T) {
+	check := func(name string, spec ScanSpec, wantErrs int, frag string) {
+		t.Helper()
+		nl, opts := scanFixture()
+		opts.Scan = &spec
+		res := mustRun(t, nl, opts, ScanIntegrity)
+		errs := res.Errors()
+		if len(errs) != wantErrs {
+			t.Fatalf("%s: %d error(s), want %d: %v", name, len(errs), wantErrs, res.Diagnostics)
+		}
+		if wantErrs > 0 && !strings.Contains(errs[0].Message, frag) {
+			t.Errorf("%s: message %q missing %q", name, errs[0].Message, frag)
+		}
+	}
+	ok := ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 2, Cells: []string{"keyinput0", "keyinput1"}, KeyChain: true},
+	}}
+	check("well-formed", ok, 0, "")
+	check("width mismatch", ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 3, Cells: []string{"keyinput0", "keyinput1"}, KeyChain: true},
+	}}, 1, "width")
+	check("missing cell", ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 2, Cells: []string{"keyinput0", "ghost"}, KeyChain: true},
+	}}, 1, "names no netlist gate")
+	check("out of order", ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 2, Cells: []string{"keyinput1", "keyinput0"}, KeyChain: true},
+	}}, 1, "out of order")
+	check("non-key cell", ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 2, Cells: []string{"keyinput0", "a"}, KeyChain: true},
+	}}, 1, "not a key input")
+	check("duplicate across chains", ScanSpec{Chains: []ScanChainSpec{
+		{Name: "keychain", Width: 1, Cells: []string{"keyinput0"}, KeyChain: true},
+		{Name: "func", Width: 1, Cells: []string{"keyinput0"}},
+	}}, 1, "appears on chains")
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("comb-cycle", "undriven")
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName: %v, %v", as, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted unknown analyzer")
+	}
+}
+
+// Diagnostics must be deterministically ordered and JSON round-trip.
+func TestDeterministicOutput(t *testing.T) {
+	build := func() *netlist.Netlist {
+		nl := netlist.New("multi")
+		a := nl.AddInput("a")
+		nl.AddInput("spare")
+		nl.AddGate("orphan1", netlist.Not, a)
+		nl.AddGate("orphan2", netlist.Not, a)
+		nl.AddInput("keyinput0")
+		nl.MarkOutput(nl.AddGate("y", netlist.Not, a))
+		return nl
+	}
+	res1 := mustRun(t, build(), Options{})
+	res2 := mustRun(t, build(), Options{})
+	j1, err := json.Marshal(res1)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	j2, _ := json.Marshal(res2)
+	if string(j1) != string(j2) {
+		t.Fatalf("output not deterministic:\n%s\n%s", j1, j2)
+	}
+	var back Result
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back.Diagnostics) != len(res1.Diagnostics) {
+		t.Fatalf("round-trip lost diagnostics")
+	}
+	for i := 1; i < len(res1.Diagnostics); i++ {
+		a, b := res1.Diagnostics[i-1], res1.Diagnostics[i]
+		if a.Analyzer > b.Analyzer {
+			t.Fatalf("diagnostics not sorted by analyzer: %v before %v", a, b)
+		}
+	}
+}
+
+func TestCheckReturnsOnlyErrors(t *testing.T) {
+	nl := netlist.New("mixed")
+	a := nl.AddInput("a")
+	nl.AddInput("spare") // warn
+	ghost := nl.AddGate("ghost", netlist.Input)
+	nl.MarkOutput(nl.AddGate("y", netlist.And, a, ghost))
+	errs, err := Check(nl, Options{}, Undriven)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(errs) != 1 || errs[0].Gate != "ghost" {
+		t.Fatalf("Check = %v, want single ghost error", errs)
+	}
+}

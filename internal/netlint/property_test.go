@@ -1,0 +1,119 @@
+package netlint_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlint"
+	"repro/internal/netlist"
+)
+
+func assertClean(t *testing.T, nl *netlist.Netlist, opts netlint.Options) *netlint.Result {
+	t.Helper()
+	res, err := netlint.Run(nl, opts)
+	if err != nil {
+		t.Fatalf("%s: Run: %v", nl.Name, err)
+	}
+	if res.HasErrors() {
+		t.Errorf("%s: %d error-level diagnostic(s):", nl.Name, res.Count(netlint.Error))
+		for _, d := range res.Errors() {
+			t.Errorf("  %s", d)
+		}
+	}
+	return res
+}
+
+// Every synthesized benchmark must lint clean at Error level.
+func TestBenchmarkSuiteLintsClean(t *testing.T) {
+	suite, err := circuit.CEPSuite("small")
+	if err != nil {
+		t.Fatalf("CEPSuite: %v", err)
+	}
+	for name, nl := range suite {
+		t.Run(name, func(t *testing.T) { assertClean(t, nl, netlint.Options{}) })
+	}
+	for _, p := range circuit.ISCASProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			nl, err := p.Synthesize(0.05)
+			if err != nil {
+				t.Fatalf("Synthesize: %v", err)
+			}
+			assertClean(t, nl, netlint.Options{})
+		})
+	}
+}
+
+// lockLintOptions assembles the full lint configuration an IP owner
+// has: key values and the secure-chain layout.
+func lockLintOptions(res *core.Result) netlint.Options {
+	key := make(map[string]bool, len(res.Key))
+	for i, name := range res.KeyNames {
+		key[name] = res.Key[i]
+	}
+	return netlint.Options{
+		Key: key,
+		Scan: &netlint.ScanSpec{Chains: []netlint.ScanChainSpec{{
+			Name:     "keychain",
+			Width:    core.NewKeyChain(res).Len(),
+			Cells:    res.KeyNames,
+			KeyChain: true,
+		}}},
+	}
+}
+
+// Freshly locked circuits must lint clean at several block counts and
+// geometries, and every nominal key bit must be effective.
+func TestLockedCircuitsLintClean(t *testing.T) {
+	prof, _ := circuit.ProfileByName("c7552")
+	orig, err := prof.Synthesize(0.1)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	for _, size := range []core.Size{core.Size2x2, core.Size8x8, core.Size8x8x8} {
+		for _, blocks := range []int{1, 3, 5} {
+			name := fmt.Sprintf("%s-%dblk", size, blocks)
+			t.Run(name, func(t *testing.T) {
+				res, err := core.Lock(orig, core.Options{
+					Blocks: blocks, Size: size, Seed: 7, ScanEnable: true,
+				})
+				if err != nil {
+					t.Fatalf("Lock: %v", err)
+				}
+				lint := assertClean(t, res.Locked, lockLintOptions(res))
+				kr := lint.KeyReport
+				if kr == nil {
+					t.Fatal("locked circuit produced no key report")
+				}
+				if kr.Nominal != len(res.Key) {
+					t.Errorf("nominal key length %d, lock has %d bits", kr.Nominal, len(res.Key))
+				}
+				if kr.Effective != kr.Nominal {
+					t.Errorf("effective key length %d < nominal %d: lock wastes key material",
+						kr.Effective, kr.Nominal)
+				}
+			})
+		}
+	}
+}
+
+// A locked-then-activated circuit (key bound, resynthesized) must also
+// lint clean: binding must not leave dead logic or cycles behind.
+func TestActivatedCircuitLintsClean(t *testing.T) {
+	prof, _ := circuit.ProfileByName("c7552")
+	orig, err := prof.Synthesize(0.1)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 2, Size: core.Size8x8, Seed: 3})
+	if err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatalf("ApplyKey: %v", err)
+	}
+	assertClean(t, bound, netlint.Options{})
+}

@@ -1,0 +1,67 @@
+package netlint
+
+// ScanIntegrity checks the declared scan-chain configuration
+// (Options.Scan) against the netlist. The paper's Scan-and-Shift
+// defense (core/scanchain) stores key bits in secure cells on a
+// dedicated configuration chain; configuration silently misloads when
+// the declared chain width disagrees with the cell count, a cell names
+// a net the netlist does not have, a cell appears on two chains, or
+// the key chain's shift order disagrees with the key-input order the
+// lock recorded — each of those is an Error. A key chain holding a
+// non-key cell defeats the "scan-out blocked" isolation argument and
+// is also an Error. Without a ScanSpec the analyzer is silent.
+var ScanIntegrity = &Analyzer{
+	Name: "scan-integrity",
+	Doc:  "check scan-chain width, cell existence, exclusivity and key-chain ordering",
+	Run:  runScanIntegrity,
+}
+
+func runScanIntegrity(p *Pass) error {
+	if p.Opts.Scan == nil {
+		return nil
+	}
+	owner := map[string]string{} // cell name -> chain name
+	for _, chain := range p.Opts.Scan.Chains {
+		if chain.Width != len(chain.Cells) {
+			p.Report(Error, -1, "scan chain %q declares width %d but lists %d cell(s)",
+				chain.Name, chain.Width, len(chain.Cells))
+		}
+		prevPos := -1
+		for _, cell := range chain.Cells {
+			if prev, dup := owner[cell]; dup {
+				p.Report(Error, -1, "scan cell %q appears on chains %q and %q", cell, prev, chain.Name)
+				continue
+			}
+			owner[cell] = chain.Name
+			id, ok := p.Netlist.GateID(cell)
+			if !ok {
+				p.Report(Error, -1, "scan chain %q cell %q names no netlist gate", chain.Name, cell)
+				continue
+			}
+			if !chain.KeyChain {
+				continue
+			}
+			if !p.IsKeyInput(id) {
+				p.Report(Error, id, "key chain %q cell %q is not a key input — breaks scan-out isolation", chain.Name, cell)
+				continue
+			}
+			pos := inputPosition(p, id)
+			if pos < prevPos {
+				p.Report(Error, id, "key chain %q cell %q is out of order: shift order must match key-input order", chain.Name, cell)
+			}
+			prevPos = pos
+		}
+	}
+	return nil
+}
+
+// inputPosition returns the position of gate id in the primary input
+// list, or -1.
+func inputPosition(p *Pass, id int) int {
+	for pos, in := range p.Netlist.Inputs {
+		if in == id {
+			return pos
+		}
+	}
+	return -1
+}

@@ -1,0 +1,42 @@
+package netlint
+
+import "repro/internal/netlist"
+
+// Undriven reports floating connectivity: nets that are read but never
+// driven, and primary inputs that are never consumed.
+//
+// In this IR an undriven net appears as a gate of type Input that is
+// not registered in the primary input list — exactly what
+// netlist.ParseBenchLax materializes for a fanin reference to a net no
+// line of the .bench file defines, and what broken programmatic
+// construction produces. Reading such a net is an Error: simulation
+// and CNF encoding would treat it as a free variable the silicon does
+// not have. A primary input that drives nothing (and is not itself an
+// output) is a Warn — harmless to correctness but usually a symptom of
+// a mis-spliced transform.
+var Undriven = &Analyzer{
+	Name: "undriven",
+	Doc:  "detect undriven nets and never-consumed primary inputs",
+	Run:  runUndriven,
+}
+
+func runUndriven(p *Pass) error {
+	fanouts := p.Fanouts()
+	outputSet := make(map[int]bool, len(p.Netlist.Outputs))
+	for _, o := range p.Netlist.Outputs {
+		outputSet[o] = true
+	}
+	for id := range p.Netlist.Gates {
+		g := &p.Netlist.Gates[id]
+		if g.Type != netlist.Input {
+			continue
+		}
+		switch {
+		case !p.IsPrimaryInput(id):
+			p.Report(Error, id, "undriven net %q: read by %d gate(s) but never defined or driven", g.Name, len(fanouts[id]))
+		case len(fanouts[id]) == 0 && !outputSet[id]:
+			p.Report(Warn, id, "primary input %q is never consumed", g.Name)
+		}
+	}
+	return nil
+}

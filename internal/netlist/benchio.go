@@ -25,23 +25,33 @@ func ParseBench(name string, r io.Reader) (*Netlist, error) {
 	return nl, err
 }
 
-// ParseBenchSeq parses a .bench file and additionally reports the
-// number of DFFs that were scan-converted. The pseudo state inputs are
-// the last nDFF entries of Inputs; the pseudo next-state outputs are
-// the last nDFF entries of Outputs (in matching order), which is
-// exactly the layout the seq package rebuilds sequential circuits from.
-func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
-	type def struct {
-		out  string
-		op   string
-		args []string
-		line int
-	}
-	var (
-		inputs  []string
-		outputs []string
-		defs    []def
-	)
+// benchDef is one parsed gate assignment.
+type benchDef struct {
+	out  string
+	op   string
+	args []string
+	line int
+}
+
+// benchDecl is one parsed INPUT/OUTPUT declaration (or a derived
+// reference, such as a DFF data pin) with its source line.
+type benchDecl struct {
+	name string
+	line int
+}
+
+// benchFile is the raw parse of a .bench source, shared by the strict
+// and lax builders.
+type benchFile struct {
+	inputs  []benchDecl
+	outputs []benchDecl
+	defs    []benchDef
+}
+
+// scanBench tokenizes a .bench source into declarations and gate
+// definitions, reporting syntax errors with their line numbers.
+func scanBench(name string, r io.Reader) (*benchFile, error) {
+	var bf benchFile
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	lineNo := 0
@@ -55,26 +65,26 @@ func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
 		case strings.HasPrefix(strings.ToUpper(line), "INPUT("):
 			arg, err := parenArg(line)
 			if err != nil {
-				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
+				return nil, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
 			}
-			inputs = append(inputs, arg)
+			bf.inputs = append(bf.inputs, benchDecl{name: arg, line: lineNo})
 		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT("):
 			arg, err := parenArg(line)
 			if err != nil {
-				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
+				return nil, fmt.Errorf("bench %s line %d: %v", name, lineNo, err)
 			}
-			outputs = append(outputs, arg)
+			bf.outputs = append(bf.outputs, benchDecl{name: arg, line: lineNo})
 		default:
 			eq := strings.Index(line, "=")
 			if eq < 0 {
-				return nil, 0, fmt.Errorf("bench %s line %d: expected assignment, got %q", name, lineNo, line)
+				return nil, fmt.Errorf("bench %s line %d: expected assignment, got %q", name, lineNo, line)
 			}
 			out := strings.TrimSpace(line[:eq])
 			rhs := strings.TrimSpace(line[eq+1:])
 			lp := strings.Index(rhs, "(")
 			rp := strings.LastIndex(rhs, ")")
 			if lp < 0 || rp < lp {
-				return nil, 0, fmt.Errorf("bench %s line %d: malformed gate %q", name, lineNo, rhs)
+				return nil, fmt.Errorf("bench %s line %d: gate %q: malformed right-hand side %q", name, lineNo, out, rhs)
 			}
 			op := strings.ToUpper(strings.TrimSpace(rhs[:lp]))
 			var args []string
@@ -84,41 +94,71 @@ func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
 					args = append(args, strings.TrimSpace(a))
 				}
 			}
-			defs = append(defs, def{out: out, op: op, args: args, line: lineNo})
+			bf.defs = append(bf.defs, benchDef{out: out, op: op, args: args, line: lineNo})
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, fmt.Errorf("bench %s: %v", name, err)
+		return nil, fmt.Errorf("bench %s: %v", name, err)
 	}
+	return &bf, nil
+}
 
-	n := New(name)
-	for _, in := range inputs {
-		n.AddInput(in)
+// addBenchInputs declares the primary inputs and the DFF pseudo inputs
+// (scan conversion), returning the DFF data-pin references. Shared by
+// the strict and lax builders.
+func addBenchInputs(n *Netlist, name string, bf *benchFile) ([]benchDecl, error) {
+	for _, in := range bf.inputs {
+		if _, dup := n.GateID(in.name); dup {
+			return nil, fmt.Errorf("bench %s line %d: duplicate INPUT(%s)", name, in.line, in.name)
+		}
+		n.AddInput(in.name)
 	}
 	// DFFs first: their outputs become pseudo inputs so that later
 	// gates can reference them.
-	var scanouts []string
-	for _, d := range defs {
-		if d.op == "DFF" {
-			if len(d.args) != 1 {
-				return nil, 0, fmt.Errorf("bench %s line %d: DFF takes 1 argument", name, d.line)
-			}
-			n.AddInput(d.out)
-			scanouts = append(scanouts, d.args[0])
+	var scanouts []benchDecl
+	for _, d := range bf.defs {
+		if d.op != "DFF" {
+			continue
 		}
+		if len(d.args) != 1 {
+			return nil, fmt.Errorf("bench %s line %d: DFF %q takes 1 argument, got %d", name, d.line, d.out, len(d.args))
+		}
+		if _, dup := n.GateID(d.out); dup {
+			return nil, fmt.Errorf("bench %s line %d: duplicate definition of %q", name, d.line, d.out)
+		}
+		n.AddInput(d.out)
+		scanouts = append(scanouts, benchDecl{name: d.args[0], line: d.line})
+	}
+	return scanouts, nil
+}
+
+// ParseBenchSeq parses a .bench file and additionally reports the
+// number of DFFs that were scan-converted. The pseudo state inputs are
+// the last nDFF entries of Inputs; the pseudo next-state outputs are
+// the last nDFF entries of Outputs (in matching order), which is
+// exactly the layout the seq package rebuilds sequential circuits from.
+func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
+	bf, err := scanBench(name, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := New(name)
+	scanouts, err := addBenchInputs(n, name, bf)
+	if err != nil {
+		return nil, 0, err
 	}
 
 	// Multi-pass resolution of combinational definitions: a .bench file
 	// may reference gates defined later.
-	pending := make([]def, 0, len(defs))
-	for _, d := range defs {
+	pending := make([]benchDef, 0, len(bf.defs))
+	for _, d := range bf.defs {
 		if d.op != "DFF" {
 			pending = append(pending, d)
 		}
 	}
 	for len(pending) > 0 {
 		progress := false
-		var next []def
+		var next []benchDef
 		for _, d := range pending {
 			ids := make([]int, 0, len(d.args))
 			ok := true
@@ -136,34 +176,105 @@ func ParseBenchSeq(name string, r io.Reader) (*Netlist, int, error) {
 			}
 			t, err := parseGateType(d.op)
 			if err != nil {
-				return nil, 0, fmt.Errorf("bench %s line %d: %v", name, d.line, err)
+				return nil, 0, fmt.Errorf("bench %s line %d: gate %q: %v", name, d.line, d.out, err)
+			}
+			if !t.ArityOK(len(ids)) {
+				return nil, 0, fmt.Errorf("bench %s line %d: gate %q: %s cannot take %d argument(s)", name, d.line, d.out, t, len(ids))
+			}
+			if _, dup := n.GateID(d.out); dup {
+				return nil, 0, fmt.Errorf("bench %s line %d: duplicate definition of %q", name, d.line, d.out)
 			}
 			n.AddGate(d.out, t, ids...)
 			progress = true
 		}
 		if !progress {
-			return nil, 0, fmt.Errorf("bench %s: unresolvable references (cycle or missing gate), first: %q line %d",
-				name, next[0].out, next[0].line)
+			return nil, 0, fmt.Errorf("bench %s line %d: gate %q: unresolvable references (cycle or missing gate)",
+				name, next[0].line, next[0].out)
 		}
 		pending = next
 	}
 
-	for _, o := range outputs {
-		id, ok := n.GateID(o)
+	for _, o := range bf.outputs {
+		id, ok := n.GateID(o.name)
 		if !ok {
-			return nil, 0, fmt.Errorf("bench %s: OUTPUT(%s) never defined", name, o)
+			return nil, 0, fmt.Errorf("bench %s line %d: OUTPUT(%s) is never defined", name, o.line, o.name)
 		}
 		n.MarkOutput(id)
 	}
 	for _, so := range scanouts {
-		id, ok := n.GateID(so)
+		id, ok := n.GateID(so.name)
 		if !ok {
-			return nil, 0, fmt.Errorf("bench %s: DFF data pin %s never defined", name, so)
+			return nil, 0, fmt.Errorf("bench %s line %d: DFF data pin %q is never defined", name, so.line, so.name)
 		}
 		n.MarkOutput(id)
 	}
 	if err := n.Validate(); err != nil {
 		return nil, 0, err
+	}
+	return n, len(scanouts), nil
+}
+
+// ParseBenchLax parses a .bench file without requiring structural
+// soundness: combinational cycles, references to nets no line defines,
+// and undefined OUTPUT declarations are admitted rather than rejected,
+// so that static analysis (the netlint package) can inspect malformed
+// netlists and name the defect precisely. Each undefined net is
+// materialized as a dangling Input-type gate that is NOT registered in
+// the primary input list — exactly the shape netlint's undriven
+// analyzer flags. Syntax errors, unknown gate types, arity violations
+// and duplicate definitions are still reported, with line numbers.
+// The DFF scan conversion matches ParseBenchSeq.
+func ParseBenchLax(name string, r io.Reader) (*Netlist, int, error) {
+	bf, err := scanBench(name, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	n := New(name)
+	scanouts, err := addBenchInputs(n, name, bf)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Predeclare every combinational definition's output so forward
+	// references — including cyclic ones — resolve to the right gate.
+	var comb []benchDef
+	for _, d := range bf.defs {
+		if d.op == "DFF" {
+			continue
+		}
+		t, err := parseGateType(d.op)
+		if err != nil {
+			return nil, 0, fmt.Errorf("bench %s line %d: gate %q: %v", name, d.line, d.out, err)
+		}
+		if !t.ArityOK(len(d.args)) {
+			return nil, 0, fmt.Errorf("bench %s line %d: gate %q: %s cannot take %d argument(s)", name, d.line, d.out, t, len(d.args))
+		}
+		if _, dup := n.GateID(d.out); dup {
+			return nil, 0, fmt.Errorf("bench %s line %d: duplicate definition of %q", name, d.line, d.out)
+		}
+		n.addGate(d.out, t, nil)
+		comb = append(comb, d)
+	}
+	// dangling resolves a net name, materializing undefined nets as
+	// Input-type gates outside the primary input list.
+	dangling := func(net string) int {
+		if id, ok := n.GateID(net); ok {
+			return id
+		}
+		return n.addGate(net, Input, nil)
+	}
+	for _, d := range comb {
+		ids := make([]int, len(d.args))
+		for i, a := range d.args {
+			ids[i] = dangling(a)
+		}
+		n.Gates[n.MustGateID(d.out)].Fanin = ids
+	}
+	for _, o := range bf.outputs {
+		n.MarkOutput(dangling(o.name))
+	}
+	for _, so := range scanouts {
+		n.MarkOutput(dangling(so.name))
 	}
 	return n, len(scanouts), nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/netlint"
 	"repro/internal/netlist"
 )
 
@@ -50,6 +51,16 @@ func Optimize(nl *netlist.Netlist) (Stats, error) {
 	}
 	if err := nl.Validate(); err != nil {
 		return stats, err
+	}
+	// Post-condition: the rewrite rules must never close a combinational
+	// loop or leave a net undriven. Validate already rejects cycles but
+	// without naming the path; netlint reports the concrete defect.
+	diags, err := netlint.Check(nl, netlint.Options{}, netlint.CombCycle, netlint.Undriven)
+	if err != nil {
+		return stats, err
+	}
+	if len(diags) > 0 {
+		return stats, fmt.Errorf("opt: optimizer broke the netlist: %s", diags[0])
 	}
 	stats.GatesAfter = nl.NumLogicGates()
 	return stats, nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/logic"
+	"repro/internal/netlint"
 	"repro/internal/netlist"
 )
 
@@ -19,6 +20,7 @@ type AttackConfig struct {
 	Timeout time.Duration
 	Scale   float64 // circuit scale factor for the ISCAS profiles (0,1]
 	Seed    int64
+	NoLint  bool // skip the netlint gate on freshly locked circuits
 }
 
 // DefaultAttackConfig is sized for an interactive run.
@@ -26,11 +28,38 @@ func DefaultAttackConfig() AttackConfig {
 	return AttackConfig{Timeout: 2 * time.Second, Scale: 0.25, Seed: 1}
 }
 
+// lintLock gates every experiment on a structurally sound, full-
+// strength lock: a cycle, an undriven net or dead key material would
+// silently skew the reported SAT-hardness numbers (the nominal key
+// length would overstate the search space). Overridable for
+// deliberately broken configurations via AttackConfig.NoLint.
+func lintLock(res *core.Result, cfg AttackConfig) error {
+	if cfg.NoLint {
+		return nil
+	}
+	key := make(map[string]bool, len(res.Key))
+	for i, name := range res.KeyNames {
+		key[name] = res.Key[i]
+	}
+	diags, err := netlint.Check(res.Locked, netlint.Options{Key: key},
+		netlint.CombCycle, netlint.Undriven, netlint.KeyInfluence, netlint.ConstLUT)
+	if err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("report: locked %s fails netlint: %s", res.Locked.Name, diags[0])
+	}
+	return nil
+}
+
 // lockAndAttack locks the circuit and runs the SAT attack against an
 // honest oracle (static operational mode, paper Table I/III).
 func lockAndAttack(orig *netlist.Netlist, blocks int, size core.Size, cfg AttackConfig) (*attack.SATResult, error) {
 	res, err := core.Lock(orig, core.Options{Blocks: blocks, Size: size, Seed: cfg.Seed})
 	if err != nil {
+		return nil, err
+	}
+	if err := lintLock(res, cfg); err != nil {
 		return nil, err
 	}
 	bound, err := res.ApplyKey(res.Key)
