@@ -3,11 +3,12 @@
 #
 #   ./ci.sh
 #
-# Steps: formatting, vet, build, tests under the race detector, then
-# the netlint gate — every checked-in .bench benchmark and a freshly
-# locked circuit must lint clean, and deliberately broken netlists
-# (combinational cycle, dead key bit) must be rejected with the right
-# analyzer named.
+# Steps: formatting, vet, build, tests under the race detector, a
+# doubled -race pass over the sweep runner (scheduling-sensitive), a
+# fuzz smoke stage (10s per parser target), then the netlint gate —
+# every checked-in .bench benchmark and a freshly locked circuit must
+# lint clean, and deliberately broken netlists (combinational cycle,
+# dead key bit) must be rejected with the right analyzer named.
 set -eu
 
 echo "== gofmt =="
@@ -26,6 +27,14 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== sweep runner under -race, doubled =="
+go test -race -count=2 ./internal/sweep/
+
+echo "== fuzz smoke (10s per parser target) =="
+for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do
+    go test ./internal/netlist/ -run='^$' -fuzz="^${target}\$" -fuzztime=10s
+done
 
 echo "== netlint: checked-in benchmarks =="
 go run ./cmd/netlint testdata/...

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,32 +26,41 @@ func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|ablation|dynamic|all")
 		timeout = flag.Duration("timeout", 2*time.Second, "SAT-attack timeout per run (paper: 120h)")
+		jobs    = flag.Int("jobs", 0, "parallel attack workers per experiment (0 = all CPUs, 1 = sequential)")
 		scale   = flag.Float64("scale", 0.25, "benchmark circuit scale in (0,1]")
 		seed    = flag.Int64("seed", 1, "deterministic seed")
 		counts  = flag.String("counts", "1,2,3,4,5,10,25,50,75,100", "Table I block counts")
 		mc      = flag.Int("mc", 100, "Monte-Carlo instances for fig6")
 		traces  = flag.Int("traces", 400, "power traces for psca")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		jsonDir = flag.String("json", "", "also write each table as JSON into this directory")
 		nolint  = flag.Bool("nolint", false, "skip the netlint gate on freshly locked circuits")
 	)
 	flag.Parse()
 
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	for _, d := range []struct {
+		dir  string
+		dest *string
+	}{{*csvDir, &csvOut}, {*jsonDir, &jsonOut}} {
+		if d.dir == "" {
+			continue
+		}
+		if err := os.MkdirAll(d.dir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "rilbench:", err)
 			os.Exit(1)
 		}
-		csvOut = *csvDir
+		*d.dest = d.dir
 	}
-	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint}
+	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs}
 	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
 		os.Exit(1)
 	}
 }
 
-// csvOut, when set, receives a CSV copy of every printed table.
-var csvOut string
+// csvOut / jsonOut, when set, receive a CSV / JSON copy of every
+// printed table.
+var csvOut, jsonOut string
 
 var csvSeq int
 
@@ -60,8 +70,10 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 			return err
 		}
 		fmt.Println(t.String())
-		if csvOut != "" {
+		if csvOut != "" || jsonOut != "" {
 			csvSeq++
+		}
+		if csvOut != "" {
 			name := fmt.Sprintf("%s/%02d_%s.csv", csvOut, csvSeq, slug(t.Title))
 			f, err := os.Create(name)
 			if err != nil {
@@ -69,6 +81,20 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 			}
 			defer f.Close()
 			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "rilbench: wrote", name)
+		}
+		if jsonOut != "" {
+			name := fmt.Sprintf("%s/%02d_%s.json", jsonOut, csvSeq, slug(t.Title))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(t); err != nil {
 				return err
 			}
 			fmt.Fprintln(os.Stderr, "rilbench: wrote", name)

@@ -1,16 +1,25 @@
 // Command satattack mounts the oracle-guided SAT attack (or AppSAT)
-// against a locked .bench netlist. The oracle is built from the locked
-// netlist plus the correct key file produced by cmd/locker (in the
-// paper's threat model the attacker has physical oracle access; here
-// the activated chip is simulated).
+// against one or more locked .bench netlists. The oracle is built from
+// each locked netlist plus the correct key file produced by cmd/locker
+// (in the paper's threat model the attacker has physical oracle
+// access; here the activated chip is simulated).
 //
 // Usage:
 //
 //	satattack -locked locked.bench -key key.txt [-timeout 10s] [-appsat]
+//	satattack -locked a.bench,b.bench,c.bench -key a.key,b.key,c.key \
+//	          -jobs 4 -json results.json
+//
+// With comma-separated -locked/-key lists the targets run as a
+// parallel sweep on -jobs workers (0 = all CPUs); -timeout applies per
+// target. -json writes the full machine-readable results (status, key,
+// DIP count, oracle queries, CDCL solver statistics) to a file, or to
+// stdout with "-json -".
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,14 +28,30 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/netlist"
+	"repro/internal/sat"
+	"repro/internal/sweep"
 )
+
+// targetResult is the machine-readable outcome for one locked netlist.
+type targetResult struct {
+	Target     string    `json:"target"`
+	KeyBits    int       `json:"key_bits"`
+	Status     string    `json:"status"`
+	Key        string    `json:"key,omitempty"`
+	Iterations int       `json:"iterations"`
+	Queries    int       `json:"queries"`
+	ErrorRate  float64   `json:"error_rate"`
+	Solver     sat.Stats `json:"solver"`
+}
 
 func main() {
 	var (
-		lockedPath = flag.String("locked", "", "locked .bench netlist")
-		keyPath    = flag.String("key", "", "key file (name=bit per line) for the simulated oracle")
+		lockedPath = flag.String("locked", "", "locked .bench netlist, or comma-separated list for a sweep")
+		keyPath    = flag.String("key", "", "key file (name=bit per line), or comma-separated list matching -locked")
 		prefix     = flag.String("keyprefix", "keyinput", "key input name prefix")
-		timeout    = flag.Duration("timeout", 10*time.Second, "attack timeout (paper: 120h)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "attack timeout per target (paper: 120h)")
+		jobs       = flag.Int("jobs", 0, "parallel attack workers for multi-target sweeps (0 = all CPUs)")
+		jsonOut    = flag.String("json", "", "write JSON results to this file ('-' = stdout)")
 		appsat     = flag.Bool("appsat", false, "run AppSAT instead of the exact SAT attack")
 		bva        = flag.Bool("bva", false, "apply BVA preprocessing to the encoding")
 		sensitize  = flag.Bool("sensitize", false, "run the key-sensitization attack instead")
@@ -39,25 +64,149 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*lockedPath)
+	lockedList := splitList(*lockedPath)
+	keyList := splitList(*keyPath)
+	if len(keyList) == 1 && len(lockedList) > 1 {
+		// One key file shared by every target.
+		for len(keyList) < len(lockedList) {
+			keyList = append(keyList, keyList[0])
+		}
+	}
+	if len(keyList) != len(lockedList) {
+		fail(fmt.Errorf("%d locked netlists but %d key files", len(lockedList), len(keyList)))
+	}
+	if len(lockedList) > 1 && (*sensitize || *removal || *tracePath != "") {
+		fail(fmt.Errorf("-sensitize, -removal and -trace support a single target only"))
+	}
+
+	if len(lockedList) == 1 {
+		runSingle(lockedList[0], keyList[0], *prefix, *timeout,
+			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut)
+		return
+	}
+
+	var jobList []sweep.Job
+	for i := range lockedList {
+		locked, key := lockedList[i], keyList[i]
+		jobList = append(jobList, sweep.Job{
+			Name:    locked,
+			Seed:    sweep.DeriveSeed(1, i),
+			Timeout: *timeout + 30*time.Second, // headroom over the attack's own deadline
+			Run: func(ctx context.Context, _ int64) (any, error) {
+				return attackOne(ctx, locked, key, *prefix, *timeout, *appsat, *bva, nil)
+			},
+		})
+	}
+	runner := &sweep.Runner{
+		Workers: *jobs,
+		Progress: func(res sweep.Result) {
+			if res.Err != nil {
+				fmt.Fprintf(os.Stderr, "satattack: %s: FAILED: %v\n", res.Name, res.Err)
+				return
+			}
+			tr := res.Value.(*targetResult)
+			fmt.Printf("satattack: %s: %s after %d DIPs, %d oracle queries, %.2fs\n",
+				tr.Target, tr.Status, tr.Iterations, tr.Queries, res.Seconds)
+		},
+	}
+	results := runner.Run(context.Background(), jobList)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, results); err != nil {
+			fail(err)
+		}
+	}
+	if errs := sweep.Errs(results); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "satattack: %d/%d targets failed\n", len(errs), len(results))
+		os.Exit(1)
+	}
+}
+
+// attackOne loads one locked netlist + key, builds the simulated
+// oracle and runs the selected attack, returning the JSON summary.
+func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
+	timeout time.Duration, appsat, bva bool, trace *os.File) (*targetResult, error) {
+	f, err := os.Open(lockedPath)
+	if err != nil {
+		return nil, err
+	}
+	locked, err := netlist.ParseBench(lockedPath, f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	keyPos := locked.GateIDsByPrefix(prefix)
+	if len(keyPos) == 0 {
+		return nil, fmt.Errorf("no key inputs with prefix %q", prefix)
+	}
+	key, err := readKey(keyPath, locked, keyPos)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := locked.BindInputs(keyPos, key)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := attack.NewSimOracle(bound)
+	if err != nil {
+		return nil, err
+	}
+
+	tr := &targetResult{Target: lockedPath, KeyBits: len(keyPos)}
+	var status attack.Status
+	var recovered []bool
+	if appsat {
+		opt := attack.DefaultAppSAT()
+		opt.Timeout = timeout
+		opt.Context = ctx
+		res, err := attack.AppSAT(locked, keyPos, oracle, opt)
+		if err != nil {
+			return nil, err
+		}
+		status, recovered, tr.Iterations = res.Status, res.Key, res.DIPs
+	} else {
+		opts := attack.SATOptions{Timeout: timeout, BVA: bva, Context: ctx}
+		if trace != nil {
+			opts.Trace = trace
+		}
+		res, err := attack.SATAttack(locked, keyPos, oracle, opts)
+		if err != nil {
+			return nil, err
+		}
+		status, recovered, tr.Iterations, tr.Solver = res.Status, res.Key, res.Iterations, res.Solver
+	}
+	tr.Status = status.String()
+	tr.Queries = oracle.Queries()
+	if status == attack.KeyFound {
+		tr.Key = keyString(recovered)
+		e, err := attack.VerifyKey(locked, keyPos, recovered, oracle, 16, 1)
+		if err != nil {
+			return nil, err
+		}
+		tr.ErrorRate = e
+	}
+	return tr, nil
+}
+
+// runSingle preserves the original single-target output format.
+func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
+	appsat, bva, sensitize, removal bool, tracePath, jsonOut string) {
+	f, err := os.Open(lockedPath)
 	if err != nil {
 		fail(err)
 	}
-	locked, err := netlist.ParseBench(*lockedPath, f)
+	locked, err := netlist.ParseBench(lockedPath, f)
 	f.Close()
 	if err != nil {
 		fail(err)
 	}
-
-	keyPos := locked.GateIDsByPrefix(*prefix)
+	keyPos := locked.GateIDsByPrefix(prefix)
 	if len(keyPos) == 0 {
-		fail(fmt.Errorf("no key inputs with prefix %q", *prefix))
+		fail(fmt.Errorf("no key inputs with prefix %q", prefix))
 	}
-	key, err := readKey(*keyPath, locked, keyPos)
+	key, err := readKey(keyPath, locked, keyPos)
 	if err != nil {
 		fail(err)
 	}
-
 	bound, err := locked.BindInputs(keyPos, key)
 	if err != nil {
 		fail(err)
@@ -68,17 +217,17 @@ func main() {
 	}
 
 	fmt.Printf("satattack: %d key bits, %d functional inputs, %d outputs, timeout %v\n",
-		len(keyPos), len(locked.Inputs)-len(keyPos), len(locked.Outputs), *timeout)
+		len(keyPos), len(locked.Inputs)-len(keyPos), len(locked.Outputs), timeout)
 
-	if *sensitize {
-		res, err := attack.Sensitize(locked, keyPos, oracle, 16, *timeout)
+	if sensitize {
+		res, err := attack.Sensitize(locked, keyPos, oracle, 16, timeout)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println("satattack:", res)
 		return
 	}
-	if *removal {
+	if removal {
 		stripped, err := attack.StructuralRemoval(locked, keyPos, 1)
 		if err != nil {
 			fail(err)
@@ -94,48 +243,61 @@ func main() {
 		fmt.Printf("satattack: removal attack output error rate %.6f (0 = circuit recovered exactly)\n", e)
 		return
 	}
-	if *appsat {
-		opt := attack.DefaultAppSAT()
-		opt.Timeout = *timeout
-		res, err := attack.AppSAT(locked, keyPos, oracle, opt)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Println("satattack:", res)
-		if res.Status == attack.KeyFound {
-			reportKey(locked, keyPos, res.Key, oracle)
-		}
-		return
-	}
 
-	opts := attack.SATOptions{Timeout: *timeout, BVA: *bva}
-	if *tracePath != "" {
-		tf, err := os.Create(*tracePath)
+	var trace *os.File
+	if tracePath != "" {
+		trace, err = os.Create(tracePath)
 		if err != nil {
 			fail(err)
 		}
-		defer tf.Close()
-		opts.Trace = tf
+		defer trace.Close()
 	}
-	res, err := attack.SATAttack(locked, keyPos, oracle, opts)
+	start := time.Now()
+	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, appsat, bva, trace)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println("satattack:", res)
-	fmt.Println("satattack: oracle queries:", oracle.Queries())
-	if res.Status == attack.KeyFound {
-		reportKey(locked, keyPos, res.Key, oracle)
+	fmt.Printf("satattack: %s after %d DIPs in %v (%+v)\n",
+		tr.Status, tr.Iterations, time.Since(start).Round(time.Millisecond), tr.Solver)
+	fmt.Println("satattack: oracle queries:", tr.Queries)
+	if tr.Key != "" {
+		fmt.Printf("satattack: recovered key verified, error rate %.6f\n", tr.ErrorRate)
+		fmt.Println("satattack: key =", tr.Key)
 	} else {
 		fmt.Println("satattack: TIMEOUT — the paper reports this outcome as infinity")
 	}
+	if jsonOut != "" {
+		res := sweep.Result{Name: lockedPath, Value: tr, Seconds: time.Since(start).Seconds()}
+		if err := writeJSON(jsonOut, []sweep.Result{res}); err != nil {
+			fail(err)
+		}
+	}
 }
 
-func reportKey(locked *netlist.Netlist, keyPos []int, key []bool, oracle attack.Oracle) {
-	e, err := attack.VerifyKey(locked, keyPos, key, oracle, 16, 1)
-	if err != nil {
-		fail(err)
+func writeJSON(path string, results []sweep.Result) error {
+	if path == "-" {
+		return sweep.WriteJSON(os.Stdout, results)
 	}
-	fmt.Printf("satattack: recovered key verified, error rate %.6f\n", e)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(os.Stderr, "satattack: writing", path)
+	return sweep.WriteJSON(f, results)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func keyString(key []bool) string {
 	var sb strings.Builder
 	for _, b := range key {
 		if b {
@@ -144,7 +306,7 @@ func reportKey(locked *netlist.Netlist, keyPos []int, key []bool, oracle attack.
 			sb.WriteByte('0')
 		}
 	}
-	fmt.Println("satattack: key =", sb.String())
+	return sb.String()
 }
 
 func readKey(path string, locked *netlist.Netlist, keyPos []int) ([]bool, error) {

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,6 +16,9 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // AppSATOptions tunes the approximate attack.
 type AppSATOptions struct {
 	Timeout time.Duration
+	// Context, when non-nil, cancels the attack early (see
+	// SATOptions.Context).
+	Context context.Context
 	// DIPsPerRound is how many SAT-attack iterations run between error
 	// estimations (d in the AppSAT paper).
 	DIPsPerRound int
@@ -104,6 +108,9 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 	}
 	if opt.Timeout > 0 {
 		solver.SetDeadline(start.Add(opt.Timeout))
+	}
+	if opt.Context != nil {
+		solver.SetContext(opt.Context)
 	}
 	key1 := make([]cnf.Var, len(keyPos))
 	for i, p := range keyPos {

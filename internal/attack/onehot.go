@@ -155,6 +155,9 @@ func SATAttackOneHot(locked *netlist.Netlist, keyPos []int, hints []RoutingHint,
 	if opt.Timeout > 0 {
 		solver.SetDeadline(start.Add(opt.Timeout))
 	}
+	if opt.Context != nil {
+		solver.SetContext(opt.Context)
+	}
 
 	key1 := make([]cnf.Var, len(relaxedKeyPos))
 	key2 := make([]cnf.Var, len(relaxedKeyPos))

@@ -8,6 +8,8 @@ package attack
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/netlist"
 )
@@ -30,10 +32,17 @@ type Oracle interface {
 // circuit (the locked design with the correct key bound, or the
 // scan-mode view of it when scan-enable obfuscation corrupts test
 // responses).
+//
+// SimOracle is safe for concurrent use: the simulator's scratch
+// buffers are guarded by a mutex (queries against one activated chip
+// are inherently serialized in the paper's threat model anyway) and
+// the query counter is atomic, so concurrent sweep workers may share
+// one oracle. Workers that must not contend on the lock should Clone.
 type SimOracle struct {
 	nl      *netlist.Netlist
+	mu      sync.Mutex // guards sim's internal evaluation buffers
 	sim     *netlist.Simulator
-	queries int
+	queries atomic.Int64
 }
 
 // NewSimOracle wraps an activated netlist.
@@ -45,9 +54,18 @@ func NewSimOracle(nl *netlist.Netlist) (*SimOracle, error) {
 	return &SimOracle{nl: nl, sim: sim}, nil
 }
 
+// Clone returns an independent oracle over the same activated netlist
+// with a fresh query counter. Sweep workers that each need an
+// uncontended oracle clone one per job.
+func (o *SimOracle) Clone() (*SimOracle, error) {
+	return NewSimOracle(o.nl)
+}
+
 // Query implements Oracle.
 func (o *SimOracle) Query(in []bool) []bool {
-	o.queries++
+	o.queries.Add(1)
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.sim.Eval(in)
 }
 
@@ -58,7 +76,7 @@ func (o *SimOracle) NumInputs() int { return len(o.nl.Inputs) }
 func (o *SimOracle) NumOutputs() int { return len(o.nl.Outputs) }
 
 // Queries implements Oracle.
-func (o *SimOracle) Queries() int { return o.queries }
+func (o *SimOracle) Queries() int { return int(o.queries.Load()) }
 
 // splitInputs partitions the locked netlist's input positions into key
 // positions (given) and functional positions (the rest, in order).

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// queryBound is a recorded iteration/query envelope for a fixed
+// (circuit, lock, seed) triple. The attack is deterministic, so the
+// recorded value is exact today; the bounds leave headroom for benign
+// solver-heuristic drift while still catching oracle-efficiency
+// regressions (a doubling of DIPs or queries fails).
+type queryBound struct {
+	minIters, maxIters     int
+	minQueries, maxQueries int
+}
+
+func (b queryBound) check(t *testing.T, name string, iters, queries int) {
+	t.Helper()
+	if iters < b.minIters || iters > b.maxIters {
+		t.Errorf("%s: %d DIP iterations, want within [%d, %d]", name, iters, b.minIters, b.maxIters)
+	}
+	if queries < b.minQueries || queries > b.maxQueries {
+		t.Errorf("%s: %d oracle queries, want within [%d, %d]", name, queries, b.minQueries, b.maxQueries)
+	}
+}
+
+// runLockedAttack locks orig with one RIL block of the given geometry
+// and fixed seed, attacks it, and returns the result plus the oracle
+// query count, asserting the attack converged to a correct key.
+func runLockedAttack(t *testing.T, orig *netlist.Netlist, size core.Size, seed int64) (*SATResult, int) {
+	t.Helper()
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatalf("apply key: %v", err)
+	}
+	oracle, err := NewSimOracle(bound)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	var lastIter int
+	ar, err := SATAttack(res.Locked, res.KeyInputPos, oracle, SATOptions{
+		Timeout: 2 * time.Minute,
+		Progress: func(p Progress) {
+			if p.Iteration < lastIter {
+				t.Errorf("progress iterations went backwards: %d -> %d", lastIter, p.Iteration)
+			}
+			lastIter = p.Iteration
+		},
+	})
+	if err != nil {
+		t.Fatalf("attack: %v", err)
+	}
+	if ar.Status != KeyFound {
+		t.Fatalf("attack did not converge: %v", ar)
+	}
+	recovered, err := res.ApplyKey(ar.Key)
+	if err != nil {
+		t.Fatalf("apply recovered key: %v", err)
+	}
+	eq, cex, err := netlist.Equivalent(bound, recovered, 12, 2000, seed)
+	if err != nil {
+		t.Fatalf("equivalence: %v", err)
+	}
+	if !eq {
+		t.Fatalf("recovered key is functionally wrong, counterexample %v", cex)
+	}
+	if lastIter != ar.Iterations {
+		t.Errorf("progress callback saw %d iterations, result says %d", lastIter, ar.Iterations)
+	}
+	return ar, oracle.Queries()
+}
+
+// TestOracleQueryCountC17 locks the real ISCAS-85 c17 with one 2x2
+// RIL block under a fixed seed and pins the SAT attack's DIP and
+// oracle-query counts to a recorded envelope.
+func TestOracleQueryCountC17(t *testing.T) {
+	f, err := os.Open("../../testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig, err := netlist.ParseBench("c17", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, queries := runLockedAttack(t, orig, core.Size2x2, 17)
+	t.Logf("c17/2x2 seed 17: %d iterations, %d queries", ar.Iterations, queries)
+	// Recorded: 7 iterations, 7 queries.
+	queryBound{minIters: 3, maxIters: 14, minQueries: 3, maxQueries: 14}.check(t, "c17", ar.Iterations, queries)
+	if queries < ar.Iterations {
+		t.Errorf("oracle queried %d times over %d iterations; each DIP needs a query", queries, ar.Iterations)
+	}
+}
+
+// TestOracleQueryCountC432 does the same on the synthesized c432
+// profile at full scale with one 8x8 routing block.
+func TestOracleQueryCountC432(t *testing.T) {
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		t.Fatal("c432 profile missing")
+	}
+	orig, err := prof.Synthesize(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, queries := runLockedAttack(t, orig, core.Size8x8, 432)
+	t.Logf("c432/8x8 seed 432: %d iterations, %d queries", ar.Iterations, queries)
+	// Recorded: 24 iterations, 24 queries.
+	queryBound{minIters: 12, maxIters: 48, minQueries: 12, maxQueries: 48}.check(t, "c432", ar.Iterations, queries)
+	if queries < ar.Iterations {
+		t.Errorf("oracle queried %d times over %d iterations; each DIP needs a query", queries, ar.Iterations)
+	}
+}

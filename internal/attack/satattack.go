@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -47,6 +48,12 @@ type SATOptions struct {
 	// Timeout bounds the whole attack (0 = none). The paper uses 5
 	// days; the benches scale this down and report ∞ on expiry.
 	Timeout time.Duration
+	// Context, when non-nil, cancels the attack early: the solver
+	// aborts at its next poll and the attack reports Timeout. It
+	// composes with Timeout (whichever fires first wins), which is how
+	// the sweep runner enforces per-job deadlines and sweep-wide
+	// cancellation.
+	Context context.Context
 	// MaxIterations bounds the DIP count (0 = unlimited).
 	MaxIterations int
 	// BVA applies bounded variable addition preprocessing to the base
@@ -55,6 +62,20 @@ type SATOptions struct {
 	// Trace, when non-nil, receives one CSV line per DIP:
 	// iteration,dip-bits,oracle-bits (little-endian bit strings).
 	Trace io.Writer
+	// Progress, when non-nil, is called once per DIP iteration with
+	// cumulative solver-effort counters, so long sweeps can report
+	// where the solver is spending its time while the attack runs.
+	Progress func(Progress)
+}
+
+// Progress is one per-iteration snapshot handed to SATOptions.Progress:
+// the DIP count so far, wall time since the attack started, and the
+// solver's cumulative counters (decisions, propagations, conflicts,
+// restarts, learnt/removed clauses, max decision level).
+type Progress struct {
+	Iteration int
+	Elapsed   time.Duration
+	Solver    sat.Stats
 }
 
 // SATResult reports a SAT attack run.
@@ -135,6 +156,9 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 		deadline = start.Add(opt.Timeout)
 		solver.SetDeadline(deadline)
 	}
+	if opt.Context != nil {
+		solver.SetContext(opt.Context)
+	}
 
 	key1 := make([]cnf.Var, len(keyPos))
 	key2 := make([]cnf.Var, len(keyPos))
@@ -147,6 +171,10 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 	assumeDiff := cnf.MkLit(act, false)
 	for {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
+			res.Status = Timeout
+			break
+		}
+		if opt.Context != nil && opt.Context.Err() != nil {
 			res.Status = Timeout
 			break
 		}
@@ -181,6 +209,13 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 		res.Iterations++
 		if opt.Trace != nil {
 			fmt.Fprintf(opt.Trace, "%d,%s,%s\n", res.Iterations, bitString(dip), bitString(out))
+		}
+		if opt.Progress != nil {
+			opt.Progress(Progress{
+				Iteration: res.Iterations,
+				Elapsed:   time.Since(start),
+				Solver:    solver.Stats(),
+			})
 		}
 
 		// Constrain both key copies to reproduce the oracle on the DIP.

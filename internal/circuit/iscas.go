@@ -22,6 +22,10 @@ type Profile struct {
 // documented circuit sizes.
 func ISCASProfiles() []Profile {
 	return []Profile{
+		// ISCAS-85 c432: 36 PI, 7 PO, 160 gates (priority interrupt
+		// controller) — the small end of the paper's suite, used by the
+		// oracle query-count regression tests.
+		{Name: "c432", Inputs: 36, Outputs: 7, Gates: 160, Seed: 432},
 		// ISCAS-85 c7552: 207 PI, 108 PO, 3512 gates.
 		{Name: "c7552", Inputs: 207, Outputs: 108, Gates: 3512, Seed: 7552},
 		// ISCAS-89 s35932: 35 PI + 1728 DFF, 320 PO; ~16065 gates.
@@ -73,6 +77,11 @@ func (p Profile) Synthesize(scale float64) (*netlist.Netlist, error) {
 	}
 	if rp.Gates < rp.Outputs {
 		rp.Gates = rp.Outputs * 2
+	}
+	// Small profiles (c432) at aggressive scales would otherwise shrink
+	// into degenerate circuits.
+	if rp.Gates < 16 {
+		rp.Gates = 16
 	}
 	return netlist.Random(rp, p.Seed)
 }

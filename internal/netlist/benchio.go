@@ -80,6 +80,12 @@ func scanBench(name string, r io.Reader) (*benchFile, error) {
 				return nil, fmt.Errorf("bench %s line %d: expected assignment, got %q", name, lineNo, line)
 			}
 			out := strings.TrimSpace(line[:eq])
+			if out == "" {
+				// Found by fuzzing: "=DFF(d)" would define a gate named
+				// "" whose scan-converted pseudo input serializes as the
+				// unparseable "INPUT()".
+				return nil, fmt.Errorf("bench %s line %d: empty gate name in %q", name, lineNo, line)
+			}
 			rhs := strings.TrimSpace(line[eq+1:])
 			lp := strings.Index(rhs, "(")
 			rp := strings.LastIndex(rhs, ")")

@@ -1,0 +1,195 @@
+package netlist_test
+
+// Native Go fuzz targets for the three netlist text formats. The
+// external test package lets the strict/lax agreement properties lean
+// on netlint (which imports netlist) without an import cycle.
+//
+// Properties checked:
+//
+//   - No parser ever panics, whatever the input.
+//   - Strict accept => parse -> WriteBench -> reparse is stable: the
+//     reparse succeeds, preserves I/O and gate counts, re-serializes
+//     byte-identically, and (for small circuits) is logically
+//     equivalent to the first parse.
+//   - Strict and lax agree on acceptance up to lint: if strict accepts
+//     then lax accepts with the same shape; if strict rejects after
+//     tokenization but lax accepts, the lax netlist must carry at
+//     least one comb-cycle or undriven-net diagnostic (that is the
+//     only semantic gap between the two parsers); and a lax-accepted,
+//     lint-clean netlist must be strict-parseable.
+//   - ParseVerilog round-trips with WriteVerilog up to output-port
+//     renaming: same I/O counts and logical function.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netlint"
+	"repro/internal/netlist"
+)
+
+// benchSeeds are shared seed inputs for both .bench fuzz targets:
+// valid circuits (including forward refs, DFFs, MUX/const gates),
+// syntax errors, and semantic errors that split strict from lax.
+var benchSeeds = []string{
+	"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+	"# fwd ref\nINPUT(a)\nOUTPUT(y)\ny = NOT(t)\nt = BUFF(a)\n",
+	"INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n",
+	"INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(s, a, b)\n",
+	"OUTPUT(y)\ny = CONST1()\nz = CONST0()\n",
+	"INPUT(a)\nOUTPUT(y)\ny = XOR(a, ghost)\n",         // undriven net: lax-only
+	"INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n", // cycle: lax-only
+	"INPUT(a)\nOUTPUT(y)\n",                            // undefined output: lax-only
+	"INPUT(a)\nINPUT(a)\n",                             // duplicate input: both reject
+	"y = FROB(a)\n",                                    // unknown op: both reject
+	"y = NOT(a, b)\n",                                  // bad arity: both reject
+	"bogus line\n",                                     // syntax error: both reject
+	"INPUT(a)\nOUTPUT(y)\ny = AND(a a)\n",
+	"",
+	"# only a comment\n",
+}
+
+func FuzzParseBench(f *testing.F) {
+	for _, s := range benchSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, strictErr := netlist.ParseBench("fuzz", strings.NewReader(src))
+		lax, _, laxErr := netlist.ParseBenchLax("fuzz", strings.NewReader(src))
+
+		if strictErr != nil {
+			if laxErr != nil {
+				return // both reject: agreement
+			}
+			// Strict rejected, lax accepted: the gap must be visible to
+			// lint as a cycle or an undriven net.
+			diags, err := netlint.Check(lax, netlint.Options{}, netlint.CombCycle, netlint.Undriven)
+			if err != nil {
+				t.Fatalf("netlint on lax netlist: %v\ninput:\n%s", err, src)
+			}
+			if len(diags) == 0 {
+				t.Fatalf("strict rejected (%v) but lax netlist is lint-clean\ninput:\n%s", strictErr, src)
+			}
+			return
+		}
+
+		// Strict accepted: lax must accept the same shape.
+		if laxErr != nil {
+			t.Fatalf("strict accepted but lax rejected: %v\ninput:\n%s", laxErr, src)
+		}
+		if len(lax.Inputs) != len(nl.Inputs) || len(lax.Outputs) != len(nl.Outputs) ||
+			lax.NumLogicGates() != nl.NumLogicGates() {
+			t.Fatalf("strict/lax shape mismatch: strict %d/%d/%d lax %d/%d/%d\ninput:\n%s",
+				len(nl.Inputs), len(nl.Outputs), nl.NumLogicGates(),
+				len(lax.Inputs), len(lax.Outputs), lax.NumLogicGates(), src)
+		}
+
+		// Round trip: write, reparse, write again.
+		var b1 bytes.Buffer
+		if err := nl.WriteBench(&b1); err != nil {
+			t.Fatalf("WriteBench after strict accept: %v\ninput:\n%s", err, src)
+		}
+		nl2, err := netlist.ParseBench("fuzz", bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\nwrote:\n%s\ninput:\n%s", err, b1.String(), src)
+		}
+		if len(nl2.Inputs) != len(nl.Inputs) || len(nl2.Outputs) != len(nl.Outputs) ||
+			nl2.NumLogicGates() != nl.NumLogicGates() {
+			t.Fatalf("round-trip changed shape: %d/%d/%d -> %d/%d/%d\ninput:\n%s",
+				len(nl.Inputs), len(nl.Outputs), nl.NumLogicGates(),
+				len(nl2.Inputs), len(nl2.Outputs), nl2.NumLogicGates(), src)
+		}
+		var b2 bytes.Buffer
+		if err := nl2.WriteBench(&b2); err != nil {
+			t.Fatalf("second WriteBench: %v", err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("write -> parse -> write not stable:\nfirst:\n%s\nsecond:\n%s", b1.String(), b2.String())
+		}
+		if len(nl.Inputs) <= 10 && len(nl.Gates) <= 512 && len(nl.Outputs) > 0 {
+			eq, cex, err := netlist.Equivalent(nl, nl2, 10, 0, 1)
+			if err != nil {
+				t.Fatalf("equivalence check: %v", err)
+			}
+			if !eq {
+				t.Fatalf("round trip is not equivalent, counterexample %v\ninput:\n%s", cex, src)
+			}
+		}
+	})
+}
+
+func FuzzParseBenchLax(f *testing.F) {
+	for _, s := range benchSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		lax, nDFF, err := netlist.ParseBenchLax("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if nDFF < 0 {
+			t.Fatalf("negative DFF count %d", nDFF)
+		}
+		// The lax netlist may be cyclic or undriven, but lint must be
+		// able to walk it without an internal error.
+		diags, lintErr := netlint.Check(lax, netlint.Options{}, netlint.CombCycle, netlint.Undriven)
+		if lintErr != nil {
+			t.Fatalf("netlint driver error on lax netlist: %v\ninput:\n%s", lintErr, src)
+		}
+		// Lint-clean lax netlists are exactly the strict-parseable ones.
+		if len(diags) == 0 {
+			if _, strictErr := netlist.ParseBench("fuzz", strings.NewReader(src)); strictErr != nil {
+				t.Fatalf("lax netlist is lint-clean but strict rejects: %v\ninput:\n%s", strictErr, src)
+			}
+			var buf bytes.Buffer
+			if err := lax.WriteBench(&buf); err != nil {
+				t.Fatalf("WriteBench on lint-clean lax netlist: %v\ninput:\n%s", err, src)
+			}
+		}
+	})
+}
+
+func FuzzParseVerilog(f *testing.F) {
+	seeds := []string{
+		"module m(a, b, y);\n  input wire a;\n  input wire b;\n  output wire y;\n  and(y, a, b);\nendmodule\n",
+		"module m(a, y);\n  input wire a;\n  output wire y;\n  wire t;\n  not(t, a);\n  assign y = t;\nendmodule\n",
+		"module m(s, a, b, y);\n  input wire s;\n  input wire a;\n  input wire b;\n  output wire y;\n  assign y = s ? b : a;\nendmodule\n",
+		"module m(y);\n  output wire y;\n  assign y = 1'b1;\nendmodule\n",
+		"module m(\n  a,\n  y\n);\n  input wire a;\n  output wire y;\n  buf(y, a);\nendmodule\n",
+		"module m(a, y); input wire a; output wire y; xor(y, a, ghost); endmodule\n", // undriven
+		"module m(); endmodule\n",
+		"not a module\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := netlist.ParseVerilog("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if err := nl.WriteVerilog(&b1); err != nil {
+			t.Fatalf("WriteVerilog after accept: %v\ninput:\n%s", err, src)
+		}
+		nl2, err := netlist.ParseVerilog("fuzz2", bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own Verilog failed: %v\nwrote:\n%s\ninput:\n%s", err, b1.String(), src)
+		}
+		if len(nl2.Inputs) != len(nl.Inputs) || len(nl2.Outputs) != len(nl.Outputs) {
+			t.Fatalf("Verilog round-trip changed I/O: %d/%d -> %d/%d\ninput:\n%s",
+				len(nl.Inputs), len(nl.Outputs), len(nl2.Inputs), len(nl2.Outputs), src)
+		}
+		if len(nl.Inputs) <= 10 && len(nl.Gates) <= 512 && len(nl.Outputs) > 0 {
+			eq, cex, err := netlist.Equivalent(nl, nl2, 10, 0, 1)
+			if err != nil {
+				t.Fatalf("equivalence check: %v", err)
+			}
+			if !eq {
+				t.Fatalf("Verilog round trip is not equivalent, counterexample %v\ninput:\n%s", cex, src)
+			}
+		}
+	})
+}

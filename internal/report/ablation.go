@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/sweep"
 )
 
 // Ablation isolates the contribution of each RIL-Block ingredient to
@@ -37,30 +39,46 @@ func Ablation(cfg AttackConfig) (*Table, error) {
 		{"8x8x8 (routing both sides)", 1, core.Size8x8x8},
 		{"3 x 8x8x8 (paper operating point)", 3, core.Size8x8x8},
 	}
+	// One sweep job per geometry row; a lock failure renders the row
+	// as n/a rather than failing the table.
+	var jobs []sweep.Job
 	for _, r := range rows {
-		res, err := core.Lock(orig, core.Options{Blocks: r.blocks, Size: r.size, Seed: cfg.Seed})
-		if err != nil {
-			t.AddRow(r.label, "n/a", "n/a", "n/a", "n/a")
-			continue
-		}
-		bound, err := res.ApplyKey(res.Key)
-		if err != nil {
-			return nil, err
-		}
-		oracle, err := attack.NewSimOracle(bound)
-		if err != nil {
-			return nil, err
-		}
-		ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
-			attack.SATOptions{Timeout: cfg.Timeout})
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(r.label,
-			fmt.Sprintf("%d", res.KeyBits()),
-			fmt.Sprintf("%d", ar.Iterations),
-			fmtDuration(ar.Elapsed, ar.Status != attack.KeyFound),
-			ar.Status.String())
+		r := r
+		jobs = append(jobs, sweep.Job{
+			Name: "ablation/" + r.label,
+			Seed: cfg.Seed,
+			Run: func(ctx context.Context, _ int64) (any, error) {
+				res, err := core.Lock(orig, core.Options{Blocks: r.blocks, Size: r.size, Seed: cfg.Seed})
+				if err != nil {
+					return []string{r.label, "n/a", "n/a", "n/a", "n/a"}, nil
+				}
+				bound, err := res.ApplyKey(res.Key)
+				if err != nil {
+					return nil, err
+				}
+				oracle, err := attack.NewSimOracle(bound)
+				if err != nil {
+					return nil, err
+				}
+				ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+					attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+				if err != nil {
+					return nil, err
+				}
+				return []string{r.label,
+					fmt.Sprintf("%d", res.KeyBits()),
+					fmt.Sprintf("%d", ar.Iterations),
+					fmtDuration(ar.Elapsed, ar.Status != attack.KeyFound),
+					ar.Status.String()}, nil
+			},
+		})
+	}
+	results, err := runSweep(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		t.AddRow(res.Value.([]string)...)
 	}
 	return t, nil
 }
@@ -86,11 +104,14 @@ func OneHotEncoding(cfg AttackConfig) (*Table, error) {
 		},
 	}
 
-	addRow := func(scheme, label string, iterations int, status attack.Status, correct string) {
-		t.AddRow(scheme, label, fmt.Sprintf("%d", iterations), status.String(), correct)
+	row := func(scheme, label string, iterations int, status attack.Status, correct string) []string {
+		return []string{scheme, label, fmt.Sprintf("%d", iterations), status.String(), correct}
 	}
 
-	// Routing-only lock, plain and one-hot attacks.
+	// The two locks are built once (cheap, deterministic); the four
+	// attacks — the expensive part — run as sweep jobs. The oracles are
+	// shared between the plain and one-hot attacks of each scheme,
+	// which SimOracle's internal locking makes safe.
 	rl, net, err := baselines.RoutingLock(orig, 8, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -103,25 +124,6 @@ func OneHotEncoding(cfg AttackConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain, err := attack.SATAttack(rl.Netlist, rl.KeyPos, rlOracle, attack.SATOptions{Timeout: cfg.Timeout})
-	if err != nil {
-		return nil, err
-	}
-	addRow("routing-only 8x8", "plain SAT", plain.Iterations, plain.Status,
-		verdict(rl.Netlist, rl.KeyPos, plain.Key, plain.Status, rlOracle))
-	hints := []attack.RoutingHint{attack.HintFromRoutingNetwork(net.Width, net.InputNames, net.OutputNames, net.KeyPos)}
-	oh, err := attack.SATAttackOneHot(rl.Netlist, rl.KeyPos, hints, rlOracle, attack.SATOptions{Timeout: cfg.Timeout})
-	if err != nil {
-		return nil, err
-	}
-	ohKey := oh.Key
-	if !oh.Realizable {
-		ohKey = nil
-	}
-	addRow("routing-only 8x8", "one-hot SAT", oh.SAT.Iterations, oh.SAT.Status,
-		verdict(rl.Netlist, rl.KeyPos, ohKey, oh.SAT.Status, rlOracle))
-
-	// RIL-Blocks, plain and one-hot attacks.
 	ril, err := core.Lock(orig, core.Options{Blocks: 2, Size: core.Size8x8x8, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -134,23 +136,61 @@ func OneHotEncoding(cfg AttackConfig) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain2, err := attack.SATAttack(ril.Locked, ril.KeyInputPos, rilOracle, attack.SATOptions{Timeout: cfg.Timeout})
+
+	jobs := []sweep.Job{
+		{Name: "onehot/routing/plain", Seed: cfg.Seed, Run: func(ctx context.Context, _ int64) (any, error) {
+			plain, err := attack.SATAttack(rl.Netlist, rl.KeyPos, rlOracle,
+				attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+			if err != nil {
+				return nil, err
+			}
+			return row("routing-only 8x8", "plain SAT", plain.Iterations, plain.Status,
+				verdict(rl.Netlist, rl.KeyPos, plain.Key, plain.Status, rlOracle)), nil
+		}},
+		{Name: "onehot/routing/onehot", Seed: cfg.Seed, Run: func(ctx context.Context, _ int64) (any, error) {
+			hints := []attack.RoutingHint{attack.HintFromRoutingNetwork(net.Width, net.InputNames, net.OutputNames, net.KeyPos)}
+			oh, err := attack.SATAttackOneHot(rl.Netlist, rl.KeyPos, hints, rlOracle,
+				attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+			if err != nil {
+				return nil, err
+			}
+			ohKey := oh.Key
+			if !oh.Realizable {
+				ohKey = nil
+			}
+			return row("routing-only 8x8", "one-hot SAT", oh.SAT.Iterations, oh.SAT.Status,
+				verdict(rl.Netlist, rl.KeyPos, ohKey, oh.SAT.Status, rlOracle)), nil
+		}},
+		{Name: "onehot/ril/plain", Seed: cfg.Seed, Run: func(ctx context.Context, _ int64) (any, error) {
+			plain2, err := attack.SATAttack(ril.Locked, ril.KeyInputPos, rilOracle,
+				attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+			if err != nil {
+				return nil, err
+			}
+			return row("RIL 2x 8x8x8", "plain SAT", plain2.Iterations, plain2.Status,
+				verdict(ril.Locked, ril.KeyInputPos, plain2.Key, plain2.Status, rilOracle)), nil
+		}},
+		{Name: "onehot/ril/onehot", Seed: cfg.Seed, Run: func(ctx context.Context, _ int64) (any, error) {
+			oh2, err := attack.SATAttackOneHot(ril.Locked, ril.KeyInputPos, attack.HintsFromRIL(ril), rilOracle,
+				attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+			if err != nil {
+				return nil, err
+			}
+			oh2Key := oh2.Key
+			if !oh2.Realizable {
+				oh2Key = nil
+			}
+			return row("RIL 2x 8x8x8", "one-hot SAT", oh2.SAT.Iterations, oh2.SAT.Status,
+				verdict(ril.Locked, ril.KeyInputPos, oh2Key, oh2.SAT.Status, rilOracle)), nil
+		}},
+	}
+	results, err := runSweep(cfg, jobs)
 	if err != nil {
 		return nil, err
 	}
-	addRow("RIL 2x 8x8x8", "plain SAT", plain2.Iterations, plain2.Status,
-		verdict(ril.Locked, ril.KeyInputPos, plain2.Key, plain2.Status, rilOracle))
-	oh2, err := attack.SATAttackOneHot(ril.Locked, ril.KeyInputPos, attack.HintsFromRIL(ril), rilOracle,
-		attack.SATOptions{Timeout: cfg.Timeout})
-	if err != nil {
-		return nil, err
+	for _, res := range results {
+		t.AddRow(res.Value.([]string)...)
 	}
-	oh2Key := oh2.Key
-	if !oh2.Realizable {
-		oh2Key = nil
-	}
-	addRow("RIL 2x 8x8x8", "one-hot SAT", oh2.SAT.Iterations, oh2.SAT.Status,
-		verdict(ril.Locked, ril.KeyInputPos, oh2Key, oh2.SAT.Status, rilOracle))
 	return t, nil
 }
 

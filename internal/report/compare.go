@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/mtj"
 	"repro/internal/netlist"
 	"repro/internal/psca"
+	"repro/internal/sweep"
 )
 
 // Fig1 reproduces the Fig. 1 observation: re-encoding a MESO
@@ -353,33 +355,53 @@ func DIPGrowth(cfg AttackConfig, widths []int) (*Table, error) {
 		Title:  "DIP growth vs key width: point function (SARLock) vs random XOR locking",
 		Header: []string{"key bits", "sarlock DIPs", "xor DIPs"},
 	}
+	// One sweep job per (width, scheme) cell.
+	type lockFn func() (*baselines.Locked, error)
+	var jobs []sweep.Job
 	for _, w := range widths {
-		sar, err := baselines.SARLock(orig, w, cfg.Seed)
-		if err != nil {
-			return nil, err
+		w := w
+		for _, mk := range []struct {
+			scheme string
+			lock   lockFn
+		}{
+			{"sarlock", func() (*baselines.Locked, error) { return baselines.SARLock(orig, w, cfg.Seed) }},
+			{"xor", func() (*baselines.Locked, error) { return baselines.XORLock(orig, w, cfg.Seed) }},
+		} {
+			mk := mk
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("dip/%s/%d", mk.scheme, w),
+				Seed: cfg.Seed,
+				Run: func(ctx context.Context, _ int64) (any, error) {
+					l, err := mk.lock()
+					if err != nil {
+						return nil, err
+					}
+					bound, err := l.Netlist.BindInputs(l.KeyPos, l.Key)
+					if err != nil {
+						return nil, err
+					}
+					oracle, err := attack.NewSimOracle(bound)
+					if err != nil {
+						return nil, err
+					}
+					res, err := attack.SATAttack(l.Netlist, l.KeyPos, oracle,
+						attack.SATOptions{Timeout: 30 * time.Second, Context: ctx})
+					if err != nil {
+						return nil, err
+					}
+					return fmt.Sprintf("%d", res.Iterations), nil
+				},
+			})
 		}
-		xor, err := baselines.XORLock(orig, w, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{fmt.Sprintf("%d", w)}
-		for _, l := range []*baselines.Locked{sar, xor} {
-			bound, err := l.Netlist.BindInputs(l.KeyPos, l.Key)
-			if err != nil {
-				return nil, err
-			}
-			oracle, err := attack.NewSimOracle(bound)
-			if err != nil {
-				return nil, err
-			}
-			res, err := attack.SATAttack(l.Netlist, l.KeyPos, oracle,
-				attack.SATOptions{Timeout: 30 * time.Second})
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%d", res.Iterations))
-		}
-		t.AddRow(row...)
+	}
+	results, err := runSweep(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range widths {
+		t.AddRow(fmt.Sprintf("%d", w),
+			results[2*i].Value.(string),
+			results[2*i+1].Value.(string))
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlint"
 	"repro/internal/netlist"
+	"repro/internal/sweep"
 )
 
 // AttackConfig scales the SAT experiments to the host machine: the
@@ -21,11 +23,29 @@ type AttackConfig struct {
 	Scale   float64 // circuit scale factor for the ISCAS profiles (0,1]
 	Seed    int64
 	NoLint  bool // skip the netlint gate on freshly locked circuits
+	// Jobs is the sweep worker count for attack tables (0 = NumCPU,
+	// 1 = sequential). Per-job seeds are fixed per table cell, so the
+	// emitted tables are identical for every Jobs value.
+	Jobs int
+	// Context cancels a running table sweep early (nil = none).
+	Context context.Context
 }
 
 // DefaultAttackConfig is sized for an interactive run.
 func DefaultAttackConfig() AttackConfig {
 	return AttackConfig{Timeout: 2 * time.Second, Scale: 0.25, Seed: 1}
+}
+
+// runSweep executes the table's attack jobs on the sweep worker pool
+// and fails the whole table on the first job error (matching the
+// sequential error behaviour the tables had before parallelization).
+func runSweep(cfg AttackConfig, jobs []sweep.Job) ([]sweep.Result, error) {
+	r := &sweep.Runner{Workers: cfg.Jobs}
+	results := r.Run(cfg.Context, jobs)
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // lintLock gates every experiment on a structurally sound, full-
@@ -53,8 +73,11 @@ func lintLock(res *core.Result, cfg AttackConfig) error {
 }
 
 // lockAndAttack locks the circuit and runs the SAT attack against an
-// honest oracle (static operational mode, paper Table I/III).
-func lockAndAttack(orig *netlist.Netlist, blocks int, size core.Size, cfg AttackConfig) (*attack.SATResult, error) {
+// honest oracle (static operational mode, paper Table I/III). The
+// context cancels the attack mid-solve; the seed fixes the lock, so a
+// given (circuit, blocks, size, seed) cell is reproducible no matter
+// which sweep worker runs it.
+func lockAndAttack(ctx context.Context, orig *netlist.Netlist, blocks int, size core.Size, cfg AttackConfig) (*attack.SATResult, error) {
 	res, err := core.Lock(orig, core.Options{Blocks: blocks, Size: size, Seed: cfg.Seed})
 	if err != nil {
 		return nil, err
@@ -70,7 +93,8 @@ func lockAndAttack(orig *netlist.Netlist, blocks int, size core.Size, cfg Attack
 	if err != nil {
 		return nil, err
 	}
-	return attack.SATAttack(res.Locked, res.KeyInputPos, oracle, attack.SATOptions{Timeout: cfg.Timeout})
+	return attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+		attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
 }
 
 // Table1 reproduces paper Table I: SAT-attack runtime for c7552 locked
@@ -92,18 +116,38 @@ func Table1(cfg AttackConfig, counts []int) (*Table, error) {
 			fmt.Sprintf("scale=%.2f timeout=%v ('inf' = timeout, 'n/a' = circuit cannot host the blocks)", cfg.Scale, cfg.Timeout),
 		},
 	}
+	// One sweep job per (block count, size) cell. A cell whose lock
+	// fails renders "n/a" (some circuits cannot host the blocks), so
+	// lock errors stay cell-local instead of failing the table.
+	var jobs []sweep.Job
 	for _, n := range counts {
-		row := []string{fmt.Sprintf("%d", n)}
 		for _, size := range sizes {
-			res, err := lockAndAttack(orig, n, size, cfg)
-			switch {
-			case err != nil:
-				row = append(row, "n/a")
-			case res.Status == attack.KeyFound:
-				row = append(row, fmtDuration(res.Elapsed, false))
-			default:
-				row = append(row, fmtDuration(res.Elapsed, true))
-			}
+			n, size := n, size
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("table1/%d/%s", n, size),
+				Seed: cfg.Seed,
+				Run: func(ctx context.Context, _ int64) (any, error) {
+					res, err := lockAndAttack(ctx, orig, n, size, cfg)
+					switch {
+					case err != nil:
+						return "n/a", nil
+					case res.Status == attack.KeyFound:
+						return fmtDuration(res.Elapsed, false), nil
+					default:
+						return fmtDuration(res.Elapsed, true), nil
+					}
+				},
+			})
+		}
+	}
+	results, err := runSweep(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range counts {
+		row := []string{fmt.Sprintf("%d", n)}
+		for j := range sizes {
+			row = append(row, results[i*len(sizes)+j].Value.(string))
 		}
 		t.AddRow(row...)
 	}
@@ -152,27 +196,53 @@ func Table3(cfg AttackConfig) (*Table, error) {
 			fmt.Sprintf("scale=%.2f timeout=%v per attack", cfg.Scale, cfg.Timeout),
 		},
 	}
+	// Four sweep jobs per benchmark: the 1/2/3-block SAT attacks and
+	// the AppSAT run against the scan-obfuscated oracle.
+	const perBench = 4
+	var jobs []sweep.Job
 	for _, b := range benches {
-		row := []string{b.suite, b.name}
+		b := b
 		for _, blocks := range []int{1, 2, 3} {
-			res, err := lockAndAttack(b.nl, blocks, core.Size8x8x8, cfg)
-			switch {
-			case err != nil:
-				row = append(row, "n/a")
-			case res.Status == attack.KeyFound:
-				row = append(row, fmtDuration(res.Elapsed, false))
-			default:
-				row = append(row, fmtDuration(res.Elapsed, true))
-			}
+			blocks := blocks
+			jobs = append(jobs, sweep.Job{
+				Name: fmt.Sprintf("table3/%s/%dblk", b.name, blocks),
+				Seed: cfg.Seed,
+				Run: func(ctx context.Context, _ int64) (any, error) {
+					res, err := lockAndAttack(ctx, b.nl, blocks, core.Size8x8x8, cfg)
+					switch {
+					case err != nil:
+						return "n/a", nil
+					case res.Status == attack.KeyFound:
+						return fmtDuration(res.Elapsed, false), nil
+					default:
+						return fmtDuration(res.Elapsed, true), nil
+					}
+				},
+			})
 		}
-		ok, err := appSATSucceeds(b.nl, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			row = append(row, "yes")
-		} else {
-			row = append(row, "x")
+		jobs = append(jobs, sweep.Job{
+			Name: fmt.Sprintf("table3/%s/appsat", b.name),
+			Seed: cfg.Seed,
+			Run: func(ctx context.Context, _ int64) (any, error) {
+				ok, err := appSATSucceeds(ctx, b.nl, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					return "yes", nil
+				}
+				return "x", nil
+			},
+		})
+	}
+	results, err := runSweep(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		row := []string{b.suite, b.name}
+		for j := 0; j < perBench; j++ {
+			row = append(row, results[i*perBench+j].Value.(string))
 		}
 		t.AddRow(row...)
 	}
@@ -214,7 +284,7 @@ func table3Suite(scale float64) ([]namedBench, error) {
 // appSATSucceeds locks the circuit with scan-enable obfuscation and
 // runs AppSAT against the corrupted scan oracle; success requires a
 // functionally correct key.
-func appSATSucceeds(orig *netlist.Netlist, cfg AttackConfig) (bool, error) {
+func appSATSucceeds(ctx context.Context, orig *netlist.Netlist, cfg AttackConfig) (bool, error) {
 	res, err := core.Lock(orig, core.Options{
 		Blocks: 1, Size: core.Size8x8x8, Seed: cfg.Seed, ScanEnable: true,
 	})
@@ -235,6 +305,7 @@ func appSATSucceeds(orig *netlist.Netlist, cfg AttackConfig) (bool, error) {
 	}
 	opt := attack.DefaultAppSAT()
 	opt.Timeout = cfg.Timeout
+	opt.Context = ctx
 	opt.MaxRounds = 16
 	ar, err := attack.AppSAT(res.Locked, res.KeyInputPos, scanOracle, opt)
 	if err != nil {

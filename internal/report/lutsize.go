@@ -1,17 +1,20 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/attack"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 // LUTSizeTable reproduces the §IV-E LUT-scaling claim: growing the LUT
 // from 2 to 4 inputs multiplies the function space (2^(2^m)) and the
 // SAT cost, while the *device* cost per configurable bit shrinks
-// because the write periphery is shared across cells.
+// because the write periphery is shared across cells. The three LUT
+// sizes run as parallel sweep jobs.
 func LUTSizeTable(cfg AttackConfig, nLUTs int) (*Table, error) {
 	prof, _ := circuit.ProfileByName("c7552")
 	orig, err := prof.Synthesize(cfg.Scale)
@@ -24,36 +27,50 @@ func LUTSizeTable(cfg AttackConfig, nLUTs int) (*Table, error) {
 			"T/LUT", "T/key bit"},
 		Notes: []string{fmt.Sprintf("%d LUTs per configuration, scale=%.2f timeout=%v", nLUTs, cfg.Scale, cfg.Timeout)},
 	}
+	var jobs []sweep.Job
 	for _, m := range []int{2, 3, 4} {
-		res, err := core.LockLUTM(orig, nLUTs, m, cfg.Seed)
-		if err != nil {
-			t.AddRow(fmt.Sprintf("LUT%d", m), "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
-			continue
-		}
-		bound, err := res.ApplyKey(res.Key)
-		if err != nil {
-			return nil, err
-		}
-		oracle, err := attack.NewSimOracle(bound)
-		if err != nil {
-			return nil, err
-		}
-		ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
-			attack.SATOptions{Timeout: cfg.Timeout})
-		if err != nil {
-			return nil, err
-		}
-		trans, _ := core.MRAMLUTArea(m)
-		t.AddRow(
-			fmt.Sprintf("LUT%d", m),
-			fmt.Sprintf("%d", res.KeyBits()),
-			core.LUTFunctionSpace(m).String(),
-			fmt.Sprintf("%d", ar.Iterations),
-			fmtDuration(ar.Elapsed, ar.Status != attack.KeyFound),
-			ar.Status.String(),
-			fmt.Sprintf("%d", trans),
-			fmt.Sprintf("%.2f", float64(trans)/float64(int(1)<<uint(m))),
-		)
+		m := m
+		jobs = append(jobs, sweep.Job{
+			Name: fmt.Sprintf("lutsize/lut%d", m),
+			Seed: cfg.Seed,
+			Run: func(ctx context.Context, _ int64) (any, error) {
+				res, err := core.LockLUTM(orig, nLUTs, m, cfg.Seed)
+				if err != nil {
+					return []string{fmt.Sprintf("LUT%d", m), "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a"}, nil
+				}
+				bound, err := res.ApplyKey(res.Key)
+				if err != nil {
+					return nil, err
+				}
+				oracle, err := attack.NewSimOracle(bound)
+				if err != nil {
+					return nil, err
+				}
+				ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+					attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+				if err != nil {
+					return nil, err
+				}
+				trans, _ := core.MRAMLUTArea(m)
+				return []string{
+					fmt.Sprintf("LUT%d", m),
+					fmt.Sprintf("%d", res.KeyBits()),
+					core.LUTFunctionSpace(m).String(),
+					fmt.Sprintf("%d", ar.Iterations),
+					fmtDuration(ar.Elapsed, ar.Status != attack.KeyFound),
+					ar.Status.String(),
+					fmt.Sprintf("%d", trans),
+					fmt.Sprintf("%.2f", float64(trans)/float64(int(1)<<uint(m))),
+				}, nil
+			},
+		})
+	}
+	results, err := runSweep(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		t.AddRow(res.Value.([]string)...)
 	}
 	return t, nil
 }

@@ -10,6 +10,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -40,13 +41,13 @@ func (s Status) String() string {
 
 // Stats accumulates solver counters across Solve calls.
 type Stats struct {
-	Decisions    int64
-	Propagations int64
-	Conflicts    int64
-	Restarts     int64
-	Learnt       int64
-	Removed      int64
-	MaxDepth     int // deepest decision level reached
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Conflicts    int64 `json:"conflicts"`
+	Restarts     int64 `json:"restarts"`
+	Learnt       int64 `json:"learnt"`
+	Removed      int64 `json:"removed"`
+	MaxDepth     int   `json:"max_depth"` // deepest decision level reached
 }
 
 const (
@@ -98,7 +99,8 @@ type Solver struct {
 	rng        *rand.Rand
 	stats      Stats
 	deadline   time.Time
-	confBudget int64 // remaining conflicts allowed; <0 means unlimited
+	confBudget int64           // remaining conflicts allowed; <0 means unlimited
+	ctx        context.Context // optional cancellation; nil means none
 }
 
 // New returns an empty solver.
@@ -517,8 +519,20 @@ func (s *Solver) SetDeadline(t time.Time) { s.deadline = t }
 // Negative n means unlimited.
 func (s *Solver) SetConflictBudget(n int64) { s.confBudget = n }
 
+// SetContext attaches a cancellation context: once ctx is done, the
+// running (and any future) Solve aborts with Unknown at the next abort
+// check. A nil context disables cancellation. The check shares the
+// periodic abort poll with the deadline, so cancellation latency is a
+// few hundred decisions, not instantaneous.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
+
 // Stats returns accumulated counters.
 func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes all counters. Clauses, assignments and heuristic
+// state are untouched, so incremental solving continues unaffected;
+// only the observation window restarts.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
 
 // Okay reports whether the solver is still consistent at the top level
 // (false once an unconditional contradiction has been derived).
@@ -575,6 +589,13 @@ func (s *Solver) aborted() bool {
 	}
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		return true
+	}
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			return true
+		default:
+		}
 	}
 	return false
 }

@@ -1,0 +1,200 @@
+// Package sweep runs attack and experiment jobs concurrently on a
+// worker pool. The paper's headline evaluation (Tables I and III–VI)
+// is a large sweep — oracle-guided SAT attacks over many benchmarks ×
+// RIL-Block counts × LUT sizes, each with its own wall-clock budget —
+// and the jobs are mutually independent, so the sweep parallelizes
+// perfectly up to the core count. The runner guarantees:
+//
+//   - per-job deterministic seeds (DeriveSeed splits a base seed so
+//     results are identical regardless of worker count or schedule)
+//   - per-job deadlines via context.Context, threaded down through
+//     attack.SATOptions into the CDCL solver's abort poll
+//   - panic isolation: a crashing job becomes a failed Result, not a
+//     dead sweep
+//   - results in job order, independent of completion order
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one unit of sweep work. Run receives a context that is
+// cancelled at the job's deadline (Job.Timeout, falling back to
+// Runner.Timeout) or when the whole sweep is cancelled, plus the job's
+// deterministic seed.
+type Job struct {
+	// Name identifies the job in results and progress output.
+	Name string
+	// Seed is the job's deterministic seed. Runners do not invent
+	// seeds: build jobs with DeriveSeed so a sweep is reproducible
+	// from its base seed alone.
+	Seed int64
+	// Timeout overrides the runner's default per-job timeout
+	// (0 = inherit).
+	Timeout time.Duration
+	// Run executes the job. The returned value lands in Result.Value.
+	Run func(ctx context.Context, seed int64) (any, error)
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	Name    string        `json:"name"`
+	Index   int           `json:"index"`
+	Worker  int           `json:"worker"`
+	Value   any           `json:"value,omitempty"`
+	Err     error         `json:"-"`
+	Error   string        `json:"error,omitempty"` // Err rendered for JSON
+	Panic   bool          `json:"panic,omitempty"`
+	Elapsed time.Duration `json:"-"`
+	Seconds float64       `json:"seconds"`
+}
+
+// PanicError is the Result.Err of a job that panicked; the sweep
+// itself survives.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Runner executes jobs on a bounded worker pool.
+type Runner struct {
+	// Workers is the pool size; 0 or negative means runtime.NumCPU().
+	Workers int
+	// Timeout is the default per-job deadline (0 = none).
+	Timeout time.Duration
+	// Progress, when non-nil, is called from worker goroutines as each
+	// job finishes (in completion order, not job order). It must be
+	// safe for concurrent use.
+	Progress func(Result)
+}
+
+// Run executes all jobs and returns their results in job order. A
+// cancelled ctx stops the sweep: running jobs see their contexts
+// cancelled, queued jobs are not started and report ctx's error.
+func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idxCh {
+				results[i] = r.runOne(ctx, worker, i, jobs[i])
+				if r.Progress != nil {
+					r.Progress(results[i])
+				}
+			}
+		}(w)
+	}
+feed:
+	for i := range jobs {
+		select {
+		case idxCh <- i:
+		case <-ctx.Done():
+			// Mark every job not yet handed to a worker as cancelled.
+			for j := i; j < len(jobs); j++ {
+				results[j] = Result{Name: jobs[j].Name, Index: j, Worker: -1,
+					Err: ctx.Err(), Error: ctx.Err().Error()}
+			}
+			break feed
+		}
+	}
+	close(idxCh)
+	wg.Wait()
+	return results
+}
+
+// runOne executes a single job with deadline and panic isolation.
+func (r *Runner) runOne(ctx context.Context, worker, index int, job Job) (res Result) {
+	res = Result{Name: job.Name, Index: index, Worker: worker}
+	timeout := job.Timeout
+	if timeout == 0 {
+		timeout = r.Timeout
+	}
+	jctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		res.Seconds = res.Elapsed.Seconds()
+		if p := recover(); p != nil {
+			res.Err = &PanicError{Value: p, Stack: string(debug.Stack())}
+			res.Panic = true
+		}
+		if res.Err != nil {
+			res.Error = res.Err.Error()
+		}
+	}()
+	res.Value, res.Err = job.Run(jctx, job.Seed)
+	return res
+}
+
+// DeriveSeed deterministically splits a base seed per job index using
+// a SplitMix64 step, so jobs get independent, schedule-invariant
+// streams. Index 0 with base b never collides with index 1 of base b-1.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base)*0x9e3779b97f4a7c15 + uint64(index+1)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	// Keep it positive: seeds feed rand.NewSource, where sign carries
+	// no extra entropy and negative values read poorly in logs.
+	return int64(z &^ (1 << 63))
+}
+
+// Errs returns the errors of all failed jobs, in job order.
+func Errs(results []Result) []error {
+	var errs []error
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, fmt.Errorf("job %q: %w", results[i].Name, results[i].Err))
+		}
+	}
+	return errs
+}
+
+// FirstErr returns the first failed job's error, or nil.
+func FirstErr(results []Result) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return fmt.Errorf("sweep: job %q: %w", results[i].Name, results[i].Err)
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits results as an indented JSON array. Values must be
+// JSON-marshalable (the attack result types are).
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
