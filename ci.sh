@@ -5,10 +5,13 @@
 #
 # Steps: formatting, vet, build, tests under the race detector, a
 # doubled -race pass over the sweep runner (scheduling-sensitive), a
-# fuzz smoke stage (10s per parser target), then the netlint gate —
-# every checked-in .bench benchmark and a freshly locked circuit must
-# lint clean, and deliberately broken netlists (combinational cycle,
-# dead key bit) must be rejected with the right analyzer named.
+# coverage gate on the checkpoint-bearing packages, a fuzz smoke stage
+# (10s per parser/journal target), the netlint gate — every checked-in
+# .bench benchmark and a freshly locked circuit must lint clean, and
+# deliberately broken netlists (combinational cycle, dead key bit)
+# must be rejected with the right analyzer named — and finally a
+# kill-and-resume smoke: a checkpointed attack sweep is SIGKILLed
+# mid-run, resumed, and must end with a complete manifest.
 set -eu
 
 echo "== gofmt =="
@@ -31,10 +34,26 @@ go test -race ./...
 echo "== sweep runner under -race, doubled =="
 go test -race -count=2 ./internal/sweep/
 
-echo "== fuzz smoke (10s per parser target) =="
+echo "== coverage gate (internal/attack, internal/sweep >= 70%) =="
+for pkg in ./internal/attack/ ./internal/sweep/; do
+    cov=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
+    if [ -z "$cov" ]; then
+        echo "ci: could not read coverage for $pkg" >&2
+        exit 1
+    fi
+    ok=$(awk -v c="$cov" 'BEGIN { print (c >= 70.0) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "ci: $pkg coverage ${cov}% is below the 70% gate" >&2
+        exit 1
+    fi
+    echo "ci: $pkg coverage ${cov}%"
+done
+
+echo "== fuzz smoke (10s per parser/journal target) =="
 for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do
     go test ./internal/netlist/ -run='^$' -fuzz="^${target}\$" -fuzztime=10s
 done
+go test ./internal/attack/ -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=10s
 
 echo "== netlint: checked-in benchmarks =="
 go run ./cmd/netlint testdata/...
@@ -80,5 +99,39 @@ grep -q 'key-influence' "$tmp/deadkey.out" || {
     cat "$tmp/deadkey.out" >&2
     exit 1
 }
+
+echo "== kill-and-resume smoke =="
+# A two-target checkpointed sweep: one quick target (locked c17) and
+# one slow enough (~5s: quarter-scale c7552, two 8x8 blocks) that a
+# SIGKILL at 2s lands mid-attack with DIPs already journaled. The
+# resumed run must skip/replay without re-querying journaled DIPs and
+# leave a complete manifest. If the machine is fast enough that the
+# first run finishes before the kill, the resume degenerates to
+# skipping both targets — still asserting a complete manifest.
+go build -o "$tmp/satattack" ./cmd/satattack
+go build -o "$tmp/benchgen" ./cmd/benchgen
+go build -o "$tmp/locker" ./cmd/locker
+"$tmp/benchgen" -name c7552 -scale 0.25 -out "$tmp/c7552.bench" >/dev/null
+"$tmp/locker" -in "$tmp/c7552.bench" -scheme ril -size 8x8 -blocks 2 -seed 3 \
+    -out "$tmp/slow.bench" -keyout "$tmp/slow.key" 2>/dev/null
+"$tmp/locker" -in testdata/c17.bench -scheme ril -size 2x2 -blocks 1 -seed 17 \
+    -out "$tmp/quick.bench" -keyout "$tmp/quick.key" 2>/dev/null
+timeout -s KILL 2s "$tmp/satattack" \
+    -locked "$tmp/quick.bench,$tmp/slow.bench" -key "$tmp/quick.key,$tmp/slow.key" \
+    -timeout 120s -jobs 2 -checkpoint-dir "$tmp/ckpt" >/dev/null 2>&1 || true
+"$tmp/satattack" \
+    -locked "$tmp/quick.bench,$tmp/slow.bench" -key "$tmp/quick.key,$tmp/slow.key" \
+    -timeout 120s -jobs 2 -checkpoint-dir "$tmp/ckpt" -resume > "$tmp/resume.out" 2>&1 || {
+    echo "ci: resumed sweep failed:" >&2
+    cat "$tmp/resume.out" >&2
+    exit 1
+}
+done_count=$(grep -c '"status": "done"' "$tmp/ckpt/manifest.json" || true)
+if [ "$done_count" != 2 ]; then
+    echo "ci: manifest incomplete after resume ($done_count/2 done):" >&2
+    cat "$tmp/ckpt/manifest.json" >&2
+    exit 1
+fi
+echo "ci: kill-and-resume manifest complete (2/2 done)"
 
 echo "ci: all checks passed"

@@ -35,8 +35,14 @@ func main() {
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		jsonDir = flag.String("json", "", "also write each table as JSON into this directory")
 		nolint  = flag.Bool("nolint", false, "skip the netlint gate on freshly locked circuits")
+		ckptDir = flag.String("checkpoint-dir", "", "persist per-table sweep manifests under this directory")
+		resume  = flag.Bool("resume", false, "resume from -checkpoint-dir: skip table cells already recorded done")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "rilbench: -resume requires -checkpoint-dir")
+		os.Exit(1)
+	}
 
 	for _, d := range []struct {
 		dir  string
@@ -51,7 +57,8 @@ func main() {
 		}
 		*d.dest = d.dir
 	}
-	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs}
+	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs,
+		CheckpointDir: *ckptDir, Resume: *resume}
 	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
 		os.Exit(1)

@@ -15,11 +15,20 @@
 // target. -json writes the full machine-readable results (status, key,
 // DIP count, oracle queries, CDCL solver statistics) to a file, or to
 // stdout with "-json -".
+//
+// -checkpoint-dir makes the attack crash-safe: every DIP and oracle
+// response is journaled (fsync per record) to a per-target file in the
+// directory, and sweeps record per-job completion in a manifest.
+// Re-running with -resume skips targets the manifest records done and
+// replays each partial journal without re-querying the oracle, then
+// continues the attack. Corrupt checkpoint files degrade to a fresh
+// start with a warning, never an error.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,8 +49,33 @@ type targetResult struct {
 	Key        string    `json:"key,omitempty"`
 	Iterations int       `json:"iterations"`
 	Queries    int       `json:"queries"`
+	Replayed   int       `json:"replayed,omitempty"`
 	ErrorRate  float64   `json:"error_rate"`
 	Solver     sat.Stats `json:"solver"`
+}
+
+// openJournal prepares the DIP journal for one target. Fresh mode
+// truncates any stale journal; resume mode loads it, tolerating a torn
+// tail and degrading a corrupt file to a fresh start with a warning.
+func openJournal(path string, resume bool) (*attack.Journal, *attack.JournalData, error) {
+	if !resume {
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, err
+		}
+	}
+	j, data, err := attack.OpenJournal(path)
+	if err == nil {
+		return j, data, nil
+	}
+	if !errors.Is(err, attack.ErrJournalCorrupt) {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "satattack: %s: corrupt journal, starting fresh: %v\n", path, err)
+	if err := os.Remove(path); err != nil {
+		return nil, nil, err
+	}
+	j, _, err = attack.OpenJournal(path)
+	return j, nil, err
 }
 
 func main() {
@@ -57,11 +91,20 @@ func main() {
 		sensitize  = flag.Bool("sensitize", false, "run the key-sensitization attack instead")
 		removal    = flag.Bool("removal", false, "run the structural removal attack instead")
 		tracePath  = flag.String("trace", "", "write a per-DIP CSV trace (iteration,dip,oracle) to this file")
+		ckptDir    = flag.String("checkpoint-dir", "", "journal DIP progress (and sweep manifest) into this directory")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint-dir: skip done targets, replay partial journals")
 	)
 	flag.Parse()
 	if *lockedPath == "" || *keyPath == "" {
 		fmt.Fprintln(os.Stderr, "satattack: -locked and -key are required")
 		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "satattack: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *ckptDir != "" && (*appsat || *sensitize || *removal) {
+		fail(fmt.Errorf("-checkpoint-dir supports the exact SAT attack only"))
 	}
 
 	lockedList := splitList(*lockedPath)
@@ -79,9 +122,25 @@ func main() {
 		fail(fmt.Errorf("-sensitize, -removal and -trace support a single target only"))
 	}
 
+	var ckpt *sweep.Checkpoint
+	if *ckptDir != "" {
+		var err error
+		if *resume {
+			ckpt, err = sweep.ResumeCheckpoint(*ckptDir)
+		} else {
+			ckpt, err = sweep.NewCheckpoint(*ckptDir)
+		}
+		if err != nil {
+			fail(err)
+		}
+		if ckpt.Degraded() {
+			fmt.Fprintln(os.Stderr, "satattack: checkpoint manifest corrupt, re-running all targets")
+		}
+	}
+
 	if len(lockedList) == 1 {
 		runSingle(lockedList[0], keyList[0], *prefix, *timeout,
-			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut)
+			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut, ckpt, *resume)
 		return
 	}
 
@@ -93,20 +152,26 @@ func main() {
 			Seed:    sweep.DeriveSeed(1, i),
 			Timeout: *timeout + 30*time.Second, // headroom over the attack's own deadline
 			Run: func(ctx context.Context, _ int64) (any, error) {
-				return attackOne(ctx, locked, key, *prefix, *timeout, *appsat, *bva, nil)
+				return attackOne(ctx, locked, key, *prefix, *timeout, *appsat, *bva, nil,
+					jobJournalPath(ckpt, locked), *resume)
 			},
 		})
 	}
 	runner := &sweep.Runner{
-		Workers: *jobs,
+		Workers:    *jobs,
+		Checkpoint: ckpt,
 		Progress: func(res sweep.Result) {
 			if res.Err != nil {
 				fmt.Fprintf(os.Stderr, "satattack: %s: FAILED: %v\n", res.Name, res.Err)
 				return
 			}
+			if res.Resumed {
+				fmt.Printf("satattack: %s: done in a previous run, skipped\n", res.Name)
+				return
+			}
 			tr := res.Value.(*targetResult)
-			fmt.Printf("satattack: %s: %s after %d DIPs, %d oracle queries, %.2fs\n",
-				tr.Target, tr.Status, tr.Iterations, tr.Queries, res.Seconds)
+			fmt.Printf("satattack: %s: %s after %d DIPs, %d oracle queries (%d replayed), %.2fs\n",
+				tr.Target, tr.Status, tr.Iterations, tr.Queries, tr.Replayed, res.Seconds)
 		},
 	}
 	results := runner.Run(context.Background(), jobList)
@@ -119,12 +184,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "satattack: %d/%d targets failed\n", len(errs), len(results))
 		os.Exit(1)
 	}
+	if ckpt != nil && sweep.FirstErr(results) == nil {
+		fmt.Fprintf(os.Stderr, "satattack: sweep complete, manifest at %s\n", sweep.ManifestPath(ckpt.Dir()))
+	}
+}
+
+// jobJournalPath maps a sweep job onto its journal file, or "" when
+// checkpointing is off.
+func jobJournalPath(ckpt *sweep.Checkpoint, name string) string {
+	if ckpt == nil {
+		return ""
+	}
+	return ckpt.JobFile(name)
 }
 
 // attackOne loads one locked netlist + key, builds the simulated
 // oracle and runs the selected attack, returning the JSON summary.
+// With journalPath set the exact attack journals every DIP there;
+// resume additionally replays an existing journal first.
 func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
-	timeout time.Duration, appsat, bva bool, trace *os.File) (*targetResult, error) {
+	timeout time.Duration, appsat, bva bool, trace *os.File,
+	journalPath string, resume bool) (*targetResult, error) {
 	f, err := os.Open(lockedPath)
 	if err != nil {
 		return nil, err
@@ -168,11 +248,33 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 		if trace != nil {
 			opts.Trace = trace
 		}
+		if journalPath != "" {
+			j, data, err := openJournal(journalPath, resume)
+			if err != nil {
+				return nil, err
+			}
+			defer j.Close()
+			opts.Journal = j
+			opts.Resume = data
+		}
 		res, err := attack.SATAttack(locked, keyPos, oracle, opts)
+		if errors.Is(err, attack.ErrReplayDiverged) {
+			// The journal belongs to a different netlist or attack
+			// configuration; degrade to a fresh run.
+			fmt.Fprintf(os.Stderr, "satattack: %s: journal does not match, starting fresh: %v\n", journalPath, err)
+			j, _, jerr := openJournal(journalPath, false)
+			if jerr != nil {
+				return nil, jerr
+			}
+			defer j.Close()
+			opts.Journal, opts.Resume = j, nil
+			res, err = attack.SATAttack(locked, keyPos, oracle, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
-		status, recovered, tr.Iterations, tr.Solver = res.Status, res.Key, res.Iterations, res.Solver
+		status, recovered, tr.Iterations, tr.Replayed, tr.Solver =
+			res.Status, res.Key, res.Iterations, res.Replayed, res.Solver
 	}
 	tr.Status = status.String()
 	tr.Queries = oracle.Queries()
@@ -189,7 +291,8 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 
 // runSingle preserves the original single-target output format.
 func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
-	appsat, bva, sensitize, removal bool, tracePath, jsonOut string) {
+	appsat, bva, sensitize, removal bool, tracePath, jsonOut string,
+	ckpt *sweep.Checkpoint, resume bool) {
 	f, err := os.Open(lockedPath)
 	if err != nil {
 		fail(err)
@@ -253,13 +356,14 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
 		defer trace.Close()
 	}
 	start := time.Now()
-	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, appsat, bva, trace)
+	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, appsat, bva, trace,
+		jobJournalPath(ckpt, lockedPath), resume)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("satattack: %s after %d DIPs in %v (%+v)\n",
 		tr.Status, tr.Iterations, time.Since(start).Round(time.Millisecond), tr.Solver)
-	fmt.Println("satattack: oracle queries:", tr.Queries)
+	fmt.Printf("satattack: oracle queries: %d (%d replayed from journal)\n", tr.Queries, tr.Replayed)
 	if tr.Key != "" {
 		fmt.Printf("satattack: recovered key verified, error rate %.6f\n", tr.ErrorRate)
 		fmt.Println("satattack: key =", tr.Key)

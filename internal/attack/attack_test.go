@@ -2,66 +2,26 @@ package attack
 
 import (
 	"bytes"
-	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/testutil"
 )
 
-// xorLock applies the classic random XOR/XNOR locking baseline inline:
-// it inserts nKeys key-controlled XOR gates on random wires. Returns
-// the locked netlist, the key positions, and the correct key.
+// xorLock and smallCircuit moved to internal/testutil so the sweep and
+// checkpoint suites can share them; these thin aliases keep call sites
+// readable.
 func xorLock(t *testing.T, orig *netlist.Netlist, nKeys int, seed int64) (*netlist.Netlist, []int, []bool) {
 	t.Helper()
-	nl := orig.Clone()
-	rng := rand.New(rand.NewSource(seed))
-	var keyPos []int
-	var key []bool
-	// Candidate wires: logic gates (not inputs) to keep things simple.
-	var cands []int
-	for id := range nl.Gates {
-		if nl.Gates[id].Type != netlist.Input {
-			cands = append(cands, id)
-		}
-	}
-	rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
-	if len(cands) < nKeys {
-		t.Fatalf("not enough wires to lock")
-	}
-	for i := 0; i < nKeys; i++ {
-		wire := cands[i]
-		bit := rng.Intn(2) == 1
-		keyPos = append(keyPos, len(nl.Inputs))
-		kid := nl.AddInput(fmt.Sprintf("keyinput%d", i))
-		var g int
-		if bit {
-			// XNOR with key=1 is transparent.
-			g = nl.AddGate(fmt.Sprintf("klock%d", i), netlist.Xnor, wire, kid)
-		} else {
-			g = nl.AddGate(fmt.Sprintf("klock%d", i), netlist.Xor, wire, kid)
-		}
-		nl.RedirectFanout(wire, g)
-		key = append(key, bit)
-	}
-	if err := nl.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	return nl, keyPos, key
+	return testutil.XORLock(t, orig, nKeys, seed)
 }
 
 func smallCircuit(t *testing.T, gates int, seed int64) *netlist.Netlist {
 	t.Helper()
-	nl, err := netlist.Random(netlist.RandomProfile{
-		Name: "c", Inputs: 12, Outputs: 6, Gates: gates, Locality: 0.6,
-	}, seed)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return nl
+	return testutil.SmallCircuit(t, gates, seed)
 }
 
 func oracleFor(t *testing.T, locked *netlist.Netlist, keyPos []int, key []bool) Oracle {

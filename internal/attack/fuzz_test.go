@@ -1,0 +1,117 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sat"
+)
+
+// FuzzJournalReplay throws mutated journal bytes at the reader. The
+// invariants:
+//
+//   - ReadJournal never panics, whatever the input.
+//   - A rejection wraps ErrJournalCorrupt and names the offending line.
+//   - Anything accepted survives a write -> reread round trip through
+//     the Journal writer with identical parsed contents, and its
+//     records obey the structural rules the reader promises
+//     (consecutive iterations, bit widths matching the header).
+func FuzzJournalReplay(f *testing.F) {
+	// Seed 1: a well-formed finished journal produced by the writer.
+	var clean bytes.Buffer
+	j := NewJournal(&clean)
+	hdr := JournalHeader{Version: JournalVersion, Circuit: "seed", Inputs: 3, Outputs: 2, KeyBits: 4, Fingerprint: "deadbeef"}
+	if err := j.WriteHeader(hdr); err != nil {
+		f.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		rec := JournalRecord{Iteration: i, DIP: "010", Oracle: "11", ElapsedMS: int64(i), Solver: sat.Snapshot{Vars: i * 7, Clauses: i * 13}}
+		if err := j.Append(rec); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.Finish(JournalDone{Status: "key-found", Key: "1010", Iterations: 3, ElapsedMS: 3}); err != nil {
+		f.Fatal(err)
+	}
+	full := clean.Bytes()
+	f.Add(full)
+	f.Add(full[:len(full)/2])            // torn mid-file
+	f.Add(full[:len(full)-3])            // torn tail
+	f.Add(bytes.ToUpper(full))           // case-mangled
+	f.Add([]byte(""))                    // empty
+	f.Add([]byte("\n\n\n"))              // blank lines
+	f.Add([]byte("{\"crc\":\"bad\"}\n")) // bad envelope
+	f.Add([]byte("not json at all\n"))
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x20
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ReadJournal(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("rejection does not wrap ErrJournalCorrupt: %v", err)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Fatalf("rejection does not name a line: %v", err)
+			}
+			return
+		}
+		if parsed == nil {
+			t.Fatal("nil data with nil error")
+		}
+		// Structural promises on accepted journals.
+		for i, rec := range parsed.Records {
+			if rec.Iteration != i+1 {
+				t.Fatalf("record %d has iteration %d", i, rec.Iteration)
+			}
+			if len(rec.DIP) != parsed.Header.Inputs {
+				t.Fatalf("record %d DIP width %d, header says %d", i, len(rec.DIP), parsed.Header.Inputs)
+			}
+			if len(rec.Oracle) != parsed.Header.Outputs {
+				t.Fatalf("record %d oracle width %d, header says %d", i, len(rec.Oracle), parsed.Header.Outputs)
+			}
+		}
+
+		// Round trip: re-serialize the accepted content through the
+		// writer and reread; both parses must agree.
+		var out bytes.Buffer
+		w := NewJournal(&out)
+		if err := w.WriteHeader(parsed.Header); err != nil {
+			t.Fatalf("rewriting accepted header: %v", err)
+		}
+		for _, rec := range parsed.Records {
+			if err := w.Append(rec); err != nil {
+				t.Fatalf("rewriting accepted record: %v", err)
+			}
+		}
+		if parsed.Done != nil {
+			if err := w.Finish(*parsed.Done); err != nil {
+				t.Fatalf("rewriting accepted done: %v", err)
+			}
+		}
+		again, err := ReadJournal(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reread of rewritten journal failed: %v", err)
+		}
+		if again.Truncated {
+			t.Fatal("rewritten journal reads as truncated")
+		}
+		if again.Header != parsed.Header || len(again.Records) != len(parsed.Records) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", again, parsed)
+		}
+		for i := range again.Records {
+			if again.Records[i] != parsed.Records[i] {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, again.Records[i], parsed.Records[i])
+			}
+		}
+		if (again.Done == nil) != (parsed.Done == nil) {
+			t.Fatal("round trip changed done presence")
+		}
+		if again.Done != nil && *again.Done != *parsed.Done {
+			t.Fatalf("round trip changed done: %+v vs %+v", again.Done, parsed.Done)
+		}
+	})
+}

@@ -1,0 +1,439 @@
+package attack
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// The DIP journal makes long-running SAT attacks crash-safe. The paper
+// budgets up to five days of wall clock per attacked circuit; without a
+// journal, a deadline, crash or sweep kill discards every accumulated
+// DIP and oracle response. The journal is an append-only JSON-lines
+// file, one fsync'd line per oracle query, so after a crash the attack
+// resumes by replaying the journal *without re-querying the oracle* —
+// oracle access is the scarce resource in the threat model (a physical
+// activated chip on a tester), solver CPU is not.
+//
+// File format (version 1) — one JSON object per line:
+//
+//	{"crc":"xxxxxxxx","rec":{...}}
+//
+// where crc is the IEEE CRC32 of the exact rec bytes, and rec.kind is
+// "header" (first line), "dip" (one per oracle query) or "done"
+// (terminal). A torn final line — the expected artifact of a crash
+// mid-write — is tolerated and dropped; corruption anywhere before the
+// final line is an error that names the line.
+
+// JournalVersion is the current journal file format version. Readers
+// reject other versions; see DESIGN.md for the compatibility rules.
+const JournalVersion = 1
+
+// ErrJournalCorrupt tags all journal parse/integrity errors so callers
+// can degrade to a fresh attack (errors.Is).
+var ErrJournalCorrupt = errors.New("journal corrupt")
+
+// ErrReplayDiverged reports that deterministic replay of a journal
+// produced a different DIP or solver state than the journal records —
+// the journal was written by a different circuit, option set or solver
+// version. Callers should degrade to a fresh attack.
+var ErrReplayDiverged = errors.New("journal replay diverged")
+
+// JournalHeader identifies the attack a journal belongs to. Replay
+// validates every field against the resumed attack's arguments.
+type JournalHeader struct {
+	Version int    `json:"version"`
+	Circuit string `json:"circuit"`
+	Inputs  int    `json:"inputs"`   // functional (non-key) input count
+	Outputs int    `json:"outputs"`  // primary output count
+	KeyBits int    `json:"key_bits"` // key input count
+	BVA     bool   `json:"bva,omitempty"`
+	// Fingerprint is the CRC32 of the locked netlist's canonical .bench
+	// serialization plus the key positions, so a journal cannot be
+	// replayed against a different circuit.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// JournalRecord is one journaled DIP iteration: the distinguishing
+// input pattern, the oracle's response, and the cumulative solver state
+// at record time.
+type JournalRecord struct {
+	Iteration int          `json:"iteration"` // 1-based, consecutive
+	DIP       string       `json:"dip"`       // little-endian '0'/'1' bits
+	Oracle    string       `json:"oracle"`    // oracle output bits
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Solver    sat.Snapshot `json:"solver"`
+}
+
+// JournalDone is the terminal record of a finished attack.
+type JournalDone struct {
+	Status     string       `json:"status"` // Status.String()
+	Key        string       `json:"key,omitempty"`
+	Iterations int          `json:"iterations"`
+	ElapsedMS  int64        `json:"elapsed_ms"`
+	Solver     sat.Snapshot `json:"solver"`
+}
+
+// JournalData is a parsed journal: the header, the complete DIP
+// records, and the terminal record if the attack finished.
+type JournalData struct {
+	Header  JournalHeader
+	Records []JournalRecord
+	Done    *JournalDone
+	// Truncated reports that a torn or corrupt final line was dropped
+	// (the expected artifact of a crash mid-write).
+	Truncated bool
+	// validBytes is the byte offset of the end of the last valid line,
+	// used to truncate a torn tail before appending.
+	validBytes int64
+}
+
+// envelope is the per-line wrapper: CRC32 (IEEE, hex) over the exact
+// rec bytes.
+type envelope struct {
+	CRC string          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// Tagged per-kind wrappers: a single embedded struct marshals inline,
+// giving {"kind":"dip","iteration":...} lines without field clashes.
+type (
+	taggedHeader struct {
+		Kind string `json:"kind"`
+		JournalHeader
+	}
+	taggedRecord struct {
+		Kind string `json:"kind"`
+		JournalRecord
+	}
+	taggedDone struct {
+		Kind string `json:"kind"`
+		JournalDone
+	}
+)
+
+// Fingerprint computes the circuit identity recorded in a journal
+// header: CRC32 over the canonical .bench serialization of the locked
+// netlist followed by the key positions.
+func Fingerprint(locked *netlist.Netlist, keyPos []int) (string, error) {
+	h := crc32.NewIEEE()
+	if err := locked.WriteBench(h); err != nil {
+		return "", err
+	}
+	for _, p := range keyPos {
+		fmt.Fprintf(h, ",%d", p)
+	}
+	return fmt.Sprintf("%08x", h.Sum32()), nil
+}
+
+// syncer is implemented by writers that can flush to stable storage
+// (notably *os.File).
+type syncer interface{ Sync() error }
+
+// Journal is an append-only journal writer. Every line is written and
+// — when the underlying writer supports it — fsync'd before Append
+// returns, so a record is durable before its oracle response is acted
+// on. Safe for use from a single attack goroutine; the internal lock
+// only guards against concurrent observers.
+type Journal struct {
+	mu         sync.Mutex
+	w          io.Writer
+	headerDone bool
+	records    int
+}
+
+// NewJournal wraps a writer as a fresh journal sink. WriteHeader must
+// be called before the first Append; SATAttack does this itself.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// HeaderWritten reports whether the header line is already present
+// (true for journals opened in append mode on a non-empty file).
+func (j *Journal) HeaderWritten() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.headerDone
+}
+
+// Records returns the number of DIP records written through this
+// writer (excluding any pre-existing records in an appended file).
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+func (j *Journal) writeLine(rec any) error {
+	tagged, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: marshal record: %w", err)
+	}
+	env, err := json.Marshal(envelope{
+		CRC: fmt.Sprintf("%08x", crc32.ChecksumIEEE(tagged)),
+		Rec: json.RawMessage(tagged),
+	})
+	if err != nil {
+		return fmt.Errorf("journal: marshal envelope: %w", err)
+	}
+	env = append(env, '\n')
+	if _, err := j.w.Write(env); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if s, ok := j.w.(syncer); ok {
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteHeader writes the identifying header line. It must be the first
+// write and must happen exactly once per file.
+func (j *Journal) WriteHeader(h JournalHeader) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.headerDone {
+		return fmt.Errorf("journal: header already written")
+	}
+	if h.Version == 0 {
+		h.Version = JournalVersion
+	}
+	if err := j.writeLine(taggedHeader{"header", h}); err != nil {
+		return err
+	}
+	j.headerDone = true
+	return nil
+}
+
+// Append journals one DIP record durably.
+func (j *Journal) Append(r JournalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.headerDone {
+		return fmt.Errorf("journal: Append before WriteHeader")
+	}
+	if err := j.writeLine(taggedRecord{"dip", r}); err != nil {
+		return err
+	}
+	j.records++
+	return nil
+}
+
+// Finish journals the terminal record of a completed attack.
+func (j *Journal) Finish(d JournalDone) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.headerDone {
+		return fmt.Errorf("journal: Finish before WriteHeader")
+	}
+	return j.writeLine(taggedDone{"done", d})
+}
+
+// corruptf builds a line-tagged corruption error (errors.Is
+// ErrJournalCorrupt).
+func corruptf(line int, format string, args ...any) error {
+	return fmt.Errorf("journal: line %d: %s: %w", line, fmt.Sprintf(format, args...), ErrJournalCorrupt)
+}
+
+// ReadJournal parses a journal stream. A torn or corrupt *final* line
+// is tolerated (dropped, Truncated set); corruption before the final
+// line, an unknown version, or out-of-order records produce an error
+// naming the offending line.
+func ReadJournal(r io.Reader) (*JournalData, error) {
+	br := bufio.NewReader(r)
+	data := &JournalData{}
+	var offset int64
+	lineNo := 0
+	var pendingErr error // error on some line; fatal only if more content follows
+	for {
+		line, readErr := br.ReadString('\n')
+		if line == "" && readErr != nil {
+			break
+		}
+		lineNo++
+		if pendingErr != nil {
+			// Content after a bad line: corruption is not a torn tail.
+			return nil, pendingErr
+		}
+		err := parseLine(data, line, lineNo)
+		if err == nil && readErr == nil {
+			offset += int64(len(line))
+			data.validBytes = offset
+			continue
+		}
+		if err == nil {
+			// Parsed, but the trailing newline is missing: the record's
+			// fsync covers the newline, so an unterminated line is a torn
+			// write and the record cannot be trusted complete.
+			err = corruptf(lineNo, "missing trailing newline")
+		}
+		pendingErr = err // tolerated iff nothing follows
+		offset += int64(len(line))
+		if readErr != nil {
+			break
+		}
+	}
+	if pendingErr != nil {
+		// The bad line was the last one: drop it and report truncation.
+		data.Truncated = true
+	}
+	if lineNo == 0 || (data.Truncated && data.Header.Version == 0) {
+		return nil, corruptf(1, "missing header")
+	}
+	return data, nil
+}
+
+// parseLine validates and applies one journal line.
+func parseLine(data *JournalData, line string, lineNo int) error {
+	var env envelope
+	if err := json.Unmarshal([]byte(line), &env); err != nil {
+		return corruptf(lineNo, "bad envelope: %v", err)
+	}
+	if got := fmt.Sprintf("%08x", crc32.ChecksumIEEE(env.Rec)); got != env.CRC {
+		return corruptf(lineNo, "CRC mismatch: line says %q, content is %q", env.CRC, got)
+	}
+	var kind struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(env.Rec, &kind); err != nil {
+		return corruptf(lineNo, "bad record: %v", err)
+	}
+	switch kind.Kind {
+	case "header":
+		if lineNo != 1 {
+			return corruptf(lineNo, "header after line 1")
+		}
+		var h JournalHeader
+		if err := json.Unmarshal(env.Rec, &h); err != nil {
+			return corruptf(lineNo, "bad header: %v", err)
+		}
+		if h.Version != JournalVersion {
+			return corruptf(lineNo, "unsupported journal version %d (want %d)", h.Version, JournalVersion)
+		}
+		if h.Inputs < 0 || h.Outputs < 0 || h.KeyBits < 0 {
+			return corruptf(lineNo, "negative arity in header")
+		}
+		data.Header = h
+	case "dip":
+		if lineNo == 1 {
+			return corruptf(lineNo, "record before header")
+		}
+		if data.Done != nil {
+			return corruptf(lineNo, "record after done")
+		}
+		var r JournalRecord
+		if err := json.Unmarshal(env.Rec, &r); err != nil {
+			return corruptf(lineNo, "bad dip record: %v", err)
+		}
+		if r.Iteration != len(data.Records)+1 {
+			return corruptf(lineNo, "iteration %d out of order (want %d)", r.Iteration, len(data.Records)+1)
+		}
+		if len(r.DIP) != data.Header.Inputs {
+			return corruptf(lineNo, "dip has %d bits, header says %d inputs", len(r.DIP), data.Header.Inputs)
+		}
+		if len(r.Oracle) != data.Header.Outputs {
+			return corruptf(lineNo, "oracle response has %d bits, header says %d outputs", len(r.Oracle), data.Header.Outputs)
+		}
+		if _, err := parseBits(r.DIP); err != nil {
+			return corruptf(lineNo, "dip: %v", err)
+		}
+		if _, err := parseBits(r.Oracle); err != nil {
+			return corruptf(lineNo, "oracle: %v", err)
+		}
+		data.Records = append(data.Records, r)
+	case "done":
+		if lineNo == 1 {
+			return corruptf(lineNo, "record before header")
+		}
+		if data.Done != nil {
+			return corruptf(lineNo, "duplicate done record")
+		}
+		var d JournalDone
+		if err := json.Unmarshal(env.Rec, &d); err != nil {
+			return corruptf(lineNo, "bad done record: %v", err)
+		}
+		if d.Key != "" {
+			if len(d.Key) != data.Header.KeyBits {
+				return corruptf(lineNo, "key has %d bits, header says %d", len(d.Key), data.Header.KeyBits)
+			}
+			if _, err := parseBits(d.Key); err != nil {
+				return corruptf(lineNo, "key: %v", err)
+			}
+		}
+		data.Done = &d
+	default:
+		return corruptf(lineNo, "unknown record kind %q", kind.Kind)
+	}
+	return nil
+}
+
+// parseBits decodes a little-endian '0'/'1' string.
+func parseBits(s string) ([]bool, error) {
+	bits := make([]bool, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+		case '1':
+			bits[i] = true
+		default:
+			return nil, fmt.Errorf("bad bit %q at position %d", s[i], i)
+		}
+	}
+	return bits, nil
+}
+
+// OpenJournal opens (or creates) a journal file for a checkpointed
+// attack. For a fresh or empty file it returns an empty *Journal and a
+// nil *JournalData. For an existing journal it parses the content,
+// truncates a torn tail in place, and returns the writer positioned to
+// append plus the parsed data for SATOptions.Resume. A journal corrupt
+// beyond the torn-tail tolerance is returned as an error (errors.Is
+// ErrJournalCorrupt); callers typically delete the file and start
+// fresh.
+func OpenJournal(path string) (*Journal, *JournalData, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if st.Size() == 0 {
+		return &Journal{w: f}, nil, nil
+	}
+	data, err := ReadJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if data.Truncated {
+		if err := f.Truncate(data.validBytes); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(data.validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Journal{w: f, headerDone: true}, data, nil
+}
+
+// Close closes the underlying writer when it is closeable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if c, ok := j.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}

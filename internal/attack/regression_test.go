@@ -121,3 +121,77 @@ func TestOracleQueryCountC432(t *testing.T) {
 		t.Errorf("oracle queried %d times over %d iterations; each DIP needs a query", queries, ar.Iterations)
 	}
 }
+
+// runLockedAppSAT mirrors runLockedAttack for the approximate attack:
+// lock orig with one RIL block under a fixed seed, run AppSAT with the
+// default knobs, and return the result plus the oracle query count.
+func runLockedAppSAT(t *testing.T, orig *netlist.Netlist, size core.Size, seed int64) (*AppSATResult, int) {
+	t.Helper()
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: size, Seed: seed})
+	if err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatalf("apply key: %v", err)
+	}
+	oracle, err := NewSimOracle(bound)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	opt := DefaultAppSAT()
+	opt.Timeout = 2 * time.Minute
+	ar, err := AppSAT(res.Locked, res.KeyInputPos, oracle, opt)
+	if err != nil {
+		t.Fatalf("appsat: %v", err)
+	}
+	if ar.Status != KeyFound {
+		t.Fatalf("appsat did not converge: %v", ar)
+	}
+	return ar, oracle.Queries()
+}
+
+// TestAppSATQueryCountC17 pins AppSAT's DIP and oracle-query counts on
+// the same c17/2x2/seed-17 lock the exact-attack envelope uses. The
+// attack converges inside round one, before the first error-estimation
+// sample, so the query count equals the DIP count.
+func TestAppSATQueryCountC17(t *testing.T) {
+	f, err := os.Open("../../testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig, err := netlist.ParseBench("c17", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, queries := runLockedAppSAT(t, orig, core.Size2x2, 17)
+	t.Logf("appsat c17/2x2 seed 17: %d rounds, %d dips, %d queries", ar.Rounds, ar.DIPs, queries)
+	// Recorded: 1 round, 7 DIPs, 7 queries.
+	queryBound{minIters: 3, maxIters: 14, minQueries: 3, maxQueries: 20}.check(t, "appsat c17", ar.DIPs, queries)
+	if ar.Rounds > 2 {
+		t.Errorf("appsat took %d rounds on c17; recorded 1", ar.Rounds)
+	}
+}
+
+// TestAppSATQueryCountC432 pins the c432/8x8/seed-432 profile. AppSAT
+// needs a second round here, so the count includes one 64-query error
+// estimation on top of the DIPs.
+func TestAppSATQueryCountC432(t *testing.T) {
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		t.Fatal("c432 profile missing")
+	}
+	orig, err := prof.Synthesize(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, queries := runLockedAppSAT(t, orig, core.Size8x8, 432)
+	t.Logf("appsat c432/8x8 seed 432: %d rounds, %d dips, %d queries", ar.Rounds, ar.DIPs, queries)
+	// Recorded: 2 rounds, 8 DIPs, 72 queries (8 DIPs + one 64-query
+	// error-estimation sample).
+	queryBound{minIters: 4, maxIters: 24, minQueries: 36, maxQueries: 160}.check(t, "appsat c432", ar.DIPs, queries)
+	if ar.Rounds > 4 {
+		t.Errorf("appsat took %d rounds on c432; recorded 2", ar.Rounds)
+	}
+}

@@ -66,6 +66,23 @@ type SATOptions struct {
 	// cumulative solver-effort counters, so long sweeps can report
 	// where the solver is spending its time while the attack runs.
 	Progress func(Progress)
+	// Journal, when non-nil, durably records the attack: a header line
+	// identifying the locked circuit, then one fsync'd record per
+	// oracle query (DIP bits, oracle response, cumulative solver
+	// state), and a terminal record on convergence. A crashed or killed
+	// attack resumes from the journal via Resume without repeating a
+	// single oracle query. Replayed iterations are not re-journaled.
+	Journal *Journal
+	// Resume, when non-nil, replays a previously journaled attack
+	// before going live: the DIP loop re-runs deterministically, but
+	// oracle answers for journaled DIPs are served from the journal
+	// instead of the oracle (which is never queried for them). The
+	// solver state after replay is bit-identical to the state of the
+	// original run at its last record, so the continuation — DIP
+	// sequence and final key — matches an uninterrupted attack. A
+	// journal written by a different circuit, option set or solver
+	// version fails with ErrReplayDiverged.
+	Resume *JournalData
 }
 
 // Progress is one per-iteration snapshot handed to SATOptions.Progress:
@@ -83,8 +100,11 @@ type SATResult struct {
 	Status     Status
 	Key        []bool // recovered key (valid when Status == KeyFound)
 	Iterations int    // number of distinguishing input patterns
-	Elapsed    time.Duration
-	Solver     sat.Stats
+	// Replayed counts iterations served from a resume journal; the
+	// oracle was queried Iterations-Replayed times by this run.
+	Replayed int
+	Elapsed  time.Duration
+	Solver   sat.Stats
 }
 
 func (r *SATResult) String() string {
@@ -151,11 +171,6 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 	if !solver.AddFormula(enc.F) {
 		return nil, fmt.Errorf("attack: base encoding unsatisfiable")
 	}
-	var deadline time.Time
-	if opt.Timeout > 0 {
-		deadline = start.Add(opt.Timeout)
-		solver.SetDeadline(deadline)
-	}
 	if opt.Context != nil {
 		solver.SetContext(opt.Context)
 	}
@@ -168,6 +183,46 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 	}
 
 	res := &SATResult{}
+
+	// Checkpoint/resume plumbing. A resumed attack's wall clock
+	// continues from the journaled elapsed time, so Timeout bounds the
+	// *total* attack (the paper's 5-day budget), not each resume slice.
+	var header JournalHeader
+	var replay []JournalRecord
+	if opt.Journal != nil || opt.Resume != nil {
+		fp, err := Fingerprint(locked, keyPos)
+		if err != nil {
+			return nil, err
+		}
+		header = JournalHeader{
+			Version: JournalVersion, Circuit: locked.Name,
+			Inputs: len(funcPos), Outputs: len(locked.Outputs),
+			KeyBits: len(keyPos), BVA: opt.BVA, Fingerprint: fp,
+		}
+	}
+	if opt.Resume != nil {
+		if err := opt.Resume.Header.matches(header); err != nil {
+			return nil, err
+		}
+		if d := opt.Resume.Done; d != nil {
+			// The journaled attack already finished: reconstruct its
+			// result without touching solver or oracle.
+			return resultFromDone(d)
+		}
+		replay = opt.Resume.Records
+		if n := len(replay); n > 0 {
+			start = start.Add(-time.Duration(replay[n-1].ElapsedMS) * time.Millisecond)
+		}
+	}
+	if opt.Journal != nil && !opt.Journal.HeaderWritten() {
+		if err := opt.Journal.WriteHeader(header); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Timeout > 0 {
+		solver.SetDeadline(start.Add(opt.Timeout))
+	}
+
 	assumeDiff := cnf.MkLit(act, false)
 	for {
 		if opt.MaxIterations > 0 && res.Iterations >= opt.MaxIterations {
@@ -188,9 +243,7 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 			st = solver.Solve(cnf.MkLit(act, true))
 			if st != sat.Sat {
 				res.Status = Failed
-				res.Elapsed = time.Since(start)
-				res.Solver = solver.Stats()
-				return res, nil
+				break
 			}
 			res.Key = make([]bool, len(keyPos))
 			for i, v := range key1 {
@@ -205,8 +258,43 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 		for i, p := range funcPos {
 			dip[i] = solver.ModelValue(cnf.MkLit(copy1.Inputs[p], false))
 		}
-		out := oracle.Query(dip)
-		res.Iterations++
+		var out []bool
+		if res.Replayed < len(replay) {
+			// Serve the oracle answer from the journal. The solver is
+			// deterministic, so it must have rediscovered the journaled
+			// DIP; anything else means the journal belongs to a
+			// different circuit or solver version.
+			rec := replay[res.Replayed]
+			if got := bitString(dip); got != rec.DIP {
+				return nil, fmt.Errorf("attack: iteration %d: solver found DIP %s, journal has %s: %w",
+					res.Iterations+1, got, rec.DIP, ErrReplayDiverged)
+			}
+			if snap := solver.Snapshot(); snap != rec.Solver {
+				return nil, fmt.Errorf("attack: iteration %d: solver state %+v does not match journal %+v: %w",
+					res.Iterations+1, snap, rec.Solver, ErrReplayDiverged)
+			}
+			out, err = parseBits(rec.Oracle)
+			if err != nil {
+				return nil, err
+			}
+			res.Replayed++
+			res.Iterations++
+		} else {
+			out = oracle.Query(dip)
+			res.Iterations++
+			if opt.Journal != nil {
+				err := opt.Journal.Append(JournalRecord{
+					Iteration: res.Iterations,
+					DIP:       bitString(dip),
+					Oracle:    bitString(out),
+					ElapsedMS: time.Since(start).Milliseconds(),
+					Solver:    solver.Snapshot(),
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
 		if opt.Trace != nil {
 			fmt.Fprintf(opt.Trace, "%d,%s,%s\n", res.Iterations, bitString(dip), bitString(out))
 		}
@@ -229,8 +317,67 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 			}
 		}
 	}
+	if res.Status != Timeout && res.Replayed < len(replay) {
+		// A deterministic re-run must consume every journaled record
+		// before it can converge; stopping short means the journal was
+		// written by a different attack.
+		return nil, fmt.Errorf("attack: converged after %d iterations but journal holds %d records: %w",
+			res.Iterations, len(replay), ErrReplayDiverged)
+	}
 	res.Elapsed = time.Since(start)
 	res.Solver = solver.Stats()
+	// A converged (or terminally failed) attack gets a done record so
+	// resuming its journal is a pure read; a timed-out attack does not
+	// — its journal stays open-ended for the next resume slice.
+	if opt.Journal != nil && (res.Status == KeyFound || res.Status == Failed) {
+		d := JournalDone{
+			Status:     res.Status.String(),
+			Iterations: res.Iterations,
+			ElapsedMS:  res.Elapsed.Milliseconds(),
+			Solver:     solver.Snapshot(),
+		}
+		if res.Key != nil {
+			d.Key = bitString(res.Key)
+		}
+		if err := opt.Journal.Finish(d); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// matches validates a journal header against the header the resumed
+// attack would write, rejecting resumption across circuits or options.
+func (h JournalHeader) matches(want JournalHeader) error {
+	if h != want {
+		return fmt.Errorf("attack: journal header %+v does not match attack %+v: %w",
+			h, want, ErrReplayDiverged)
+	}
+	return nil
+}
+
+// resultFromDone reconstructs a finished attack's result from its
+// terminal journal record; the oracle is never queried.
+func resultFromDone(d *JournalDone) (*SATResult, error) {
+	res := &SATResult{
+		Iterations: d.Iterations,
+		Replayed:   d.Iterations,
+		Elapsed:    time.Duration(d.ElapsedMS) * time.Millisecond,
+		Solver:     d.Solver.Stats,
+	}
+	switch d.Status {
+	case KeyFound.String():
+		res.Status = KeyFound
+		key, err := parseBits(d.Key)
+		if err != nil {
+			return nil, fmt.Errorf("attack: journal done record: %w", err)
+		}
+		res.Key = key
+	case Failed.String():
+		res.Status = Failed
+	default:
+		return nil, fmt.Errorf("attack: journal done record has status %q: %w", d.Status, ErrJournalCorrupt)
+	}
 	return res, nil
 }
 

@@ -27,28 +27,13 @@ import (
 
 	"repro/internal/netlint"
 	"repro/internal/netlist"
+	"repro/internal/testutil"
 )
 
-// benchSeeds are shared seed inputs for both .bench fuzz targets:
-// valid circuits (including forward refs, DFFs, MUX/const gates),
-// syntax errors, and semantic errors that split strict from lax.
-var benchSeeds = []string{
-	"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
-	"# fwd ref\nINPUT(a)\nOUTPUT(y)\ny = NOT(t)\nt = BUFF(a)\n",
-	"INPUT(d)\nOUTPUT(q)\nq = DFF(d)\n",
-	"INPUT(s)\nINPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = MUX(s, a, b)\n",
-	"OUTPUT(y)\ny = CONST1()\nz = CONST0()\n",
-	"INPUT(a)\nOUTPUT(y)\ny = XOR(a, ghost)\n",         // undriven net: lax-only
-	"INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n", // cycle: lax-only
-	"INPUT(a)\nOUTPUT(y)\n",                            // undefined output: lax-only
-	"INPUT(a)\nINPUT(a)\n",                             // duplicate input: both reject
-	"y = FROB(a)\n",                                    // unknown op: both reject
-	"y = NOT(a, b)\n",                                  // bad arity: both reject
-	"bogus line\n",                                     // syntax error: both reject
-	"INPUT(a)\nOUTPUT(y)\ny = AND(a a)\n",
-	"",
-	"# only a comment\n",
-}
+// benchSeeds are shared seed inputs for both .bench fuzz targets,
+// maintained in internal/testutil alongside the other shared test
+// generators.
+var benchSeeds = testutil.BenchSeeds()
 
 func FuzzParseBench(f *testing.F) {
 	for _, s := range benchSeeds {

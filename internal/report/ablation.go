@@ -73,12 +73,16 @@ func Ablation(cfg AttackConfig) (*Table, error) {
 			},
 		})
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "ablation", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for _, res := range results {
-		t.AddRow(res.Value.([]string)...)
+		row, err := cellValue[[]string](res)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -184,12 +188,16 @@ func OneHotEncoding(cfg AttackConfig) (*Table, error) {
 				verdict(ril.Locked, ril.KeyInputPos, oh2Key, oh2.SAT.Status, rilOracle)), nil
 		}},
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "onehot", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for _, res := range results {
-		t.AddRow(res.Value.([]string)...)
+		row, err := cellValue[[]string](res)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

@@ -394,14 +394,20 @@ func DIPGrowth(cfg AttackConfig, widths []int) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "dipgrowth", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for i, w := range widths {
-		t.AddRow(fmt.Sprintf("%d", w),
-			results[2*i].Value.(string),
-			results[2*i+1].Value.(string))
+		ril, err := cellValue[string](results[2*i])
+		if err != nil {
+			return nil, err
+		}
+		xor, err := cellValue[string](results[2*i+1])
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", w), ril, xor)
 	}
 	return t, nil
 }

@@ -2,7 +2,9 @@ package report
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/attack"
@@ -29,6 +31,13 @@ type AttackConfig struct {
 	Jobs int
 	// Context cancels a running table sweep early (nil = none).
 	Context context.Context
+	// CheckpointDir, when set, persists every table sweep's per-job
+	// completions under <CheckpointDir>/<table-scope>/manifest.json so
+	// a killed run can resume. Resume loads those manifests and skips
+	// the jobs they record done; a corrupt manifest degrades to
+	// re-running that table from scratch.
+	CheckpointDir string
+	Resume        bool
 }
 
 // DefaultAttackConfig is sized for an interactive run.
@@ -39,13 +48,49 @@ func DefaultAttackConfig() AttackConfig {
 // runSweep executes the table's attack jobs on the sweep worker pool
 // and fails the whole table on the first job error (matching the
 // sequential error behaviour the tables had before parallelization).
-func runSweep(cfg AttackConfig, jobs []sweep.Job) ([]sweep.Result, error) {
+// The scope names the table's private checkpoint subdirectory when
+// AttackConfig.CheckpointDir is set; distinct tables must use distinct
+// scopes so their manifests never clobber each other.
+func runSweep(cfg AttackConfig, scope string, jobs []sweep.Job) ([]sweep.Result, error) {
 	r := &sweep.Runner{Workers: cfg.Jobs}
+	if cfg.CheckpointDir != "" {
+		dir := filepath.Join(cfg.CheckpointDir, scope)
+		var ckpt *sweep.Checkpoint
+		var err error
+		if cfg.Resume {
+			ckpt, err = sweep.ResumeCheckpoint(dir)
+		} else {
+			ckpt, err = sweep.NewCheckpoint(dir)
+		}
+		if err != nil {
+			return nil, err
+		}
+		r.Checkpoint = ckpt
+	}
 	results := r.Run(cfg.Context, jobs)
 	if err := sweep.FirstErr(results); err != nil {
 		return nil, err
 	}
 	return results, nil
+}
+
+// cellValue decodes one sweep result's table payload of type T. A live
+// job returns T directly; a job skipped on resume carries the
+// manifest's recorded JSON instead, which decodes back into T.
+func cellValue[T any](res sweep.Result) (T, error) {
+	var zero T
+	if v, ok := res.Value.(T); ok {
+		return v, nil
+	}
+	raw, ok := res.Value.(json.RawMessage)
+	if !ok {
+		return zero, fmt.Errorf("report: job %q result is %T, want %T", res.Name, res.Value, zero)
+	}
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return zero, fmt.Errorf("report: job %q checkpointed result: %w", res.Name, err)
+	}
+	return v, nil
 }
 
 // lintLock gates every experiment on a structurally sound, full-
@@ -140,14 +185,18 @@ func Table1(cfg AttackConfig, counts []int) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "table1", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for i, n := range counts {
 		row := []string{fmt.Sprintf("%d", n)}
 		for j := range sizes {
-			row = append(row, results[i*len(sizes)+j].Value.(string))
+			cell, err := cellValue[string](results[i*len(sizes)+j])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell)
 		}
 		t.AddRow(row...)
 	}
@@ -235,14 +284,18 @@ func Table3(cfg AttackConfig) (*Table, error) {
 			},
 		})
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "table3", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for i, b := range benches {
 		row := []string{b.suite, b.name}
 		for j := 0; j < perBench; j++ {
-			row = append(row, results[i*perBench+j].Value.(string))
+			cell, err := cellValue[string](results[i*perBench+j])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, cell)
 		}
 		t.AddRow(row...)
 	}

@@ -65,12 +65,16 @@ func LUTSizeTable(cfg AttackConfig, nLUTs int) (*Table, error) {
 			},
 		})
 	}
-	results, err := runSweep(cfg, jobs)
+	results, err := runSweep(cfg, "lutsize", jobs)
 	if err != nil {
 		return nil, err
 	}
 	for _, res := range results {
-		t.AddRow(res.Value.([]string)...)
+		row, err := cellValue[[]string](res)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(row...)
 	}
 	return t, nil
 }

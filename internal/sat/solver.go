@@ -534,6 +534,32 @@ func (s *Solver) Stats() Stats { return s.stats }
 // only the observation window restarts.
 func (s *Solver) ResetStats() { s.stats = Stats{} }
 
+// RestoreStats replaces the cumulative counters, e.g. when a resumed
+// attack wants post-restore observations to continue from journaled
+// totals instead of zero.
+func (s *Solver) RestoreStats(st Stats) { s.stats = st }
+
+// NumClauses returns the number of attached clauses, problem and learnt
+// (deleted-but-not-compacted learnt clauses included).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Snapshot captures the externally observable solver state at a
+// checkpoint: cumulative counters plus variable and clause counts. The
+// solver is deterministic (fixed internal PRNG seed, no wall-clock
+// dependence in the search itself), so re-running the same sequence of
+// AddClause/Solve calls reproduces the same Snapshot — which is how the
+// attack journal's replay path verifies it rebuilt the same solver.
+type Snapshot struct {
+	Stats   Stats `json:"stats"`
+	Vars    int   `json:"vars"`
+	Clauses int   `json:"clauses"`
+}
+
+// Snapshot returns the current state snapshot.
+func (s *Solver) Snapshot() Snapshot {
+	return Snapshot{Stats: s.stats, Vars: s.NumVars(), Clauses: s.NumClauses()}
+}
+
 // Okay reports whether the solver is still consistent at the top level
 // (false once an unconditional contradiction has been derived).
 func (s *Solver) Okay() bool { return s.okay }

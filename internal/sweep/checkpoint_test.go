@@ -1,0 +1,333 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func checkpointJobs(n int, ran *int32, failing map[int]bool) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Seed: DeriveSeed(7, i),
+			Run: func(ctx context.Context, seed int64) (any, error) {
+				atomic.AddInt32(ran, 1)
+				if failing[i] {
+					return nil, errors.New("deliberate failure")
+				}
+				return map[string]int64{"seed": seed}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func jobNames(jobs []Job) []string {
+	names := make([]string, len(jobs))
+	for i, j := range jobs {
+		names[i] = j.Name
+	}
+	return names
+}
+
+func TestCheckpointManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := NewCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran int32
+	jobs := checkpointJobs(4, &ran, map[int]bool{2: true})
+	r := &Runner{Workers: 2, Checkpoint: ckpt}
+	results := r.Run(context.Background(), jobs)
+	if ran != 4 {
+		t.Fatalf("ran %d jobs, want 4", ran)
+	}
+	if ckpt.Complete(jobNames(jobs)) {
+		t.Error("Complete true despite a failed job")
+	}
+
+	// The manifest must be valid JSON recording all four outcomes.
+	raw, err := os.ReadFile(ManifestPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mf manifestFile
+	if err := json.Unmarshal(raw, &mf); err != nil {
+		t.Fatalf("manifest unparseable: %v\n%s", err, raw)
+	}
+	if mf.Version != ManifestVersion || len(mf.Jobs) != 4 {
+		t.Fatalf("manifest version=%d jobs=%d", mf.Version, len(mf.Jobs))
+	}
+	// Manifest entries land in completion order (workers race), so
+	// look outcomes up by name.
+	byName := map[string]*ManifestEntry{}
+	for _, e := range mf.Jobs {
+		byName[e.Name] = e
+	}
+	for i := range jobs {
+		want := "done"
+		if i == 2 {
+			want = "failed"
+		}
+		e := byName[jobs[i].Name]
+		if e == nil || e.Status != want {
+			t.Errorf("manifest entry for %s = %+v, want status %q", jobs[i].Name, e, want)
+		}
+	}
+
+	// Resume: done jobs skipped with recorded payloads, failed job
+	// re-runs.
+	resumed, err := ResumeCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Degraded() {
+		t.Error("clean manifest reported degraded")
+	}
+	ran = 0
+	jobs2 := checkpointJobs(4, &ran, nil) // job 2 succeeds this time
+	r2 := &Runner{Workers: 2, Checkpoint: resumed}
+	results2 := r2.Run(context.Background(), jobs2)
+	if ran != 1 {
+		t.Fatalf("resume ran %d jobs, want 1 (only the failed one)", ran)
+	}
+	for i, res := range results2 {
+		if i == 2 {
+			if res.Resumed || res.Err != nil {
+				t.Errorf("job 2 should have re-run cleanly: %+v", res)
+			}
+			continue
+		}
+		if !res.Resumed {
+			t.Errorf("job %d not marked resumed", i)
+		}
+		// The recorded payload must round-trip the original value.
+		rawVal, ok := res.Value.(json.RawMessage)
+		if !ok {
+			t.Fatalf("job %d resumed value is %T, want json.RawMessage", i, res.Value)
+		}
+		var got map[string]int64
+		if err := json.Unmarshal(rawVal, &got); err != nil {
+			t.Fatalf("job %d resumed value unparseable: %v", i, err)
+		}
+		want := results[i].Value.(map[string]int64)
+		if got["seed"] != want["seed"] {
+			t.Errorf("job %d resumed seed %d, want %d", i, got["seed"], want["seed"])
+		}
+	}
+	if !resumed.Complete(jobNames(jobs2)) {
+		t.Error("Complete false after all jobs done")
+	}
+}
+
+func TestResumeCheckpointDegradesOnCorruptManifest(t *testing.T) {
+	for name, contents := range map[string]string{
+		"truncated":     `{"version": 1, "jobs": [{"na`,
+		"wrong-version": `{"version": 99, "jobs": []}` + "\n",
+		"bad-status":    `{"version": 1, "jobs": [{"name": "a", "status": "maybe"}]}` + "\n",
+		"empty-name":    `{"version": 1, "jobs": [{"name": "", "status": "done"}]}` + "\n",
+		"duplicate":     `{"version": 1, "jobs": [{"name": "a", "status": "done"}, {"name": "a", "status": "done"}]}` + "\n",
+		"not-json":      "I am not a manifest\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(ManifestPath(dir), []byte(contents), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ckpt, err := ResumeCheckpoint(dir)
+			if err != nil {
+				t.Fatalf("corrupt manifest errored instead of degrading: %v", err)
+			}
+			if !ckpt.Degraded() {
+				t.Error("corrupt manifest not reported degraded")
+			}
+			if _, ok := ckpt.Completed("a"); ok {
+				t.Error("degraded checkpoint still reports completed jobs")
+			}
+			// The degraded checkpoint must behave like a fresh one: every
+			// job runs, and the manifest is rewritten valid.
+			var ran int32
+			jobs := checkpointJobs(2, &ran, nil)
+			(&Runner{Workers: 1, Checkpoint: ckpt}).Run(context.Background(), jobs)
+			if ran != 2 {
+				t.Errorf("degraded resume ran %d jobs, want 2", ran)
+			}
+			if re, err := ResumeCheckpoint(dir); err != nil || re.Degraded() {
+				t.Errorf("manifest still bad after degraded sweep rewrote it: err=%v degraded=%v", err, re.Degraded())
+			}
+		})
+	}
+}
+
+func TestResumeCheckpointMissingManifestIsFresh(t *testing.T) {
+	ckpt, err := ResumeCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Degraded() {
+		t.Error("missing manifest reported degraded")
+	}
+}
+
+func TestNewCheckpointWipesOldManifest(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := NewCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.record(Result{Name: "old", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fresh.Completed("old"); ok {
+		t.Error("NewCheckpoint kept stale manifest entries")
+	}
+	if _, err := os.Stat(ManifestPath(dir)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("manifest file survived NewCheckpoint: %v", err)
+	}
+}
+
+func TestJobFileSanitizationAndCollisions(t *testing.T) {
+	ckpt, err := NewCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{
+		"c17/ril=1 size=2x2",
+		"c17_ril_1_size_2x2", // sanitizes to same stem as above
+		"../../../etc/passwd",
+		"plain",
+		"Имя-с-юникодом",
+		"", // empty names still get a distinct file
+		"x" + string(make([]byte, 300)),
+	}
+	seen := map[string]string{}
+	for _, n := range names {
+		p := ckpt.JobFile(n)
+		if filepath.Dir(p) != ckpt.Dir() {
+			t.Errorf("JobFile(%q) escapes the checkpoint dir: %s", n, p)
+		}
+		if prev, dup := seen[p]; dup {
+			t.Errorf("JobFile collision: %q and %q both map to %s", prev, n, p)
+		}
+		seen[p] = n
+		if len(filepath.Base(p)) > 64+len("-00000000.journal") {
+			t.Errorf("JobFile(%q) base name too long: %s", n, filepath.Base(p))
+		}
+		// The path must actually be usable.
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Errorf("JobFile(%q) unwritable: %v", n, err)
+		}
+	}
+}
+
+func TestCheckpointConcurrentRecord(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := NewCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ckpt.record(Result{Name: fmt.Sprintf("j%d", i), Value: i}); err != nil {
+				t.Errorf("record j%d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	re, err := ResumeCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Degraded() {
+		t.Fatal("manifest corrupt after concurrent records")
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := re.Completed(fmt.Sprintf("j%d", i)); !ok {
+			t.Errorf("j%d missing from manifest", i)
+		}
+	}
+}
+
+// TestCheckpointResumeAfterCancel models the kill-and-resume flow at
+// the sweep layer: cancel a sweep partway, then resume; previously
+// finished jobs are skipped and the manifest ends complete.
+func TestCheckpointResumeAfterCancel(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := NewCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 8
+	var ran int32
+	jobs := make([]Job, n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Name: fmt.Sprintf("job-%02d", i),
+			Run: func(jctx context.Context, seed int64) (any, error) {
+				atomic.AddInt32(&ran, 1)
+				if i == 2 {
+					cancel() // "kill" arrives while the sweep is mid-flight
+				}
+				return i, jctx.Err()
+			},
+		}
+	}
+	(&Runner{Workers: 1, Checkpoint: ckpt}).Run(ctx, jobs)
+	firstRan := int(ran)
+	if firstRan >= n {
+		t.Fatalf("cancel did not stop the sweep (ran all %d)", firstRan)
+	}
+
+	resumed, err := ResumeCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran = 0
+	jobs2 := make([]Job, n)
+	for i := range jobs2 {
+		i := i
+		jobs2[i] = Job{Name: fmt.Sprintf("job-%02d", i),
+			Run: func(context.Context, int64) (any, error) { atomic.AddInt32(&ran, 1); return i, nil }}
+	}
+	results := (&Runner{Workers: 1, Checkpoint: resumed}).Run(context.Background(), jobs2)
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Complete(jobNames(jobs2)) {
+		t.Error("manifest not complete after resume")
+	}
+	if int(ran)+skippedCount(results) != n || skippedCount(results) == 0 {
+		t.Errorf("resume ran %d, skipped %d, want total %d with some skipped", ran, skippedCount(results), n)
+	}
+}
+
+func skippedCount(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Resumed {
+			n++
+		}
+	}
+	return n
+}

@@ -54,6 +54,10 @@ type Result struct {
 	Panic   bool          `json:"panic,omitempty"`
 	Elapsed time.Duration `json:"-"`
 	Seconds float64       `json:"seconds"`
+	// Resumed marks a job that was not run because a checkpoint
+	// manifest already records it done; Value then holds the recorded
+	// json.RawMessage payload, not the job's native result type.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // PanicError is the Result.Err of a job that panicked; the sweep
@@ -75,8 +79,15 @@ type Runner struct {
 	Timeout time.Duration
 	// Progress, when non-nil, is called from worker goroutines as each
 	// job finishes (in completion order, not job order). It must be
-	// safe for concurrent use.
+	// safe for concurrent use. Jobs skipped via a checkpoint manifest
+	// report once, up front, with Resumed set.
 	Progress func(Result)
+	// Checkpoint, when non-nil, persists every job completion to the
+	// checkpoint directory's manifest and, when the checkpoint was
+	// opened with ResumeCheckpoint, skips jobs the manifest already
+	// records as done (failed jobs re-run). Jobs that want their own
+	// partial-progress files derive paths via Checkpoint.JobFile.
+	Checkpoint *Checkpoint
 }
 
 // Run executes all jobs and returns their results in job order. A
@@ -94,6 +105,23 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 		workers = len(jobs)
 	}
 	results := make([]Result, len(jobs))
+	// Resolve checkpointed completions first so workers only ever see
+	// jobs that actually need to run.
+	skipped := make([]bool, len(jobs))
+	if r.Checkpoint != nil {
+		for i := range jobs {
+			entry, ok := r.Checkpoint.Completed(jobs[i].Name)
+			if !ok {
+				continue
+			}
+			skipped[i] = true
+			results[i] = Result{Name: jobs[i].Name, Index: i, Worker: -1,
+				Value: entry.Value, Seconds: entry.Seconds, Resumed: true}
+			if r.Progress != nil {
+				r.Progress(results[i])
+			}
+		}
+	}
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -102,6 +130,12 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 			defer wg.Done()
 			for i := range idxCh {
 				results[i] = r.runOne(ctx, worker, i, jobs[i])
+				if r.Checkpoint != nil {
+					if err := r.Checkpoint.record(results[i]); err != nil && results[i].Err == nil {
+						results[i].Err = fmt.Errorf("checkpoint: %w", err)
+						results[i].Error = results[i].Err.Error()
+					}
+				}
 				if r.Progress != nil {
 					r.Progress(results[i])
 				}
@@ -110,11 +144,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 	}
 feed:
 	for i := range jobs {
+		if skipped[i] {
+			continue
+		}
 		select {
 		case idxCh <- i:
 		case <-ctx.Done():
 			// Mark every job not yet handed to a worker as cancelled.
 			for j := i; j < len(jobs); j++ {
+				if skipped[j] {
+					continue
+				}
 				results[j] = Result{Name: jobs[j].Name, Index: j, Worker: -1,
 					Err: ctx.Err(), Error: ctx.Err().Error()}
 			}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/sweep"
+	"repro/internal/testutil"
 )
 
 func TestRunOrderAndValues(t *testing.T) {
@@ -200,13 +201,7 @@ func attackJob(orig *netlist.Netlist) func(ctx context.Context, seed int64) (any
 
 func sweepCircuit(t *testing.T) *netlist.Netlist {
 	t.Helper()
-	orig, err := netlist.Random(netlist.RandomProfile{
-		Name: "sweepbench", Inputs: 10, Outputs: 5, Gates: 40, Locality: 0.6,
-	}, 99)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return orig
+	return testutil.RandomCircuit(t, 10, 5, 40, 99)
 }
 
 // TestSweepDeterministicAcrossWorkerCounts runs the same 6 completing
