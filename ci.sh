@@ -49,6 +49,9 @@ for pkg in ./internal/attack/ ./internal/sweep/; do
     echo "ci: $pkg coverage ${cov}%"
 done
 
+echo "== benchmark smoke (oracle fast path compiles and runs) =="
+go test ./internal/attack/ -run='^$' -bench=Oracle -benchtime=1x
+
 echo "== fuzz smoke (10s per parser/journal target) =="
 for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do
     go test ./internal/netlist/ -run='^$' -fuzz="^${target}\$" -fuzztime=10s

@@ -3,6 +3,7 @@ package attack
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -121,8 +122,15 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 		key2[i] = copy2.Inputs[p]
 	}
 
-	rng := newRand(opt.Seed)
+	src := rand.NewSource(opt.Seed)
 	res := &AppSATResult{}
+	// Reinforcement scratch: word-level patterns plus the bool decode
+	// buffers for constraint rows and scalar-fallback partial chunks.
+	batch := AsBatch(oracle)
+	words := make([]uint64, len(funcPos))
+	inBuf := make([]bool, len(funcPos))
+	outBuf := make([]bool, len(locked.Outputs))
+	wantBuf := make([]uint64, len(locked.Outputs))
 	addConstraint := func(in, out []bool) error {
 		for _, keyVars := range [][]cnf.Var{key1, key2} {
 			cgv, err := encodeConstrainedCopy(solver, locked, funcPos, keyPos, keyVars, in)
@@ -186,7 +194,14 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 			return res, nil
 		}
 
-		// Random-query reinforcement and error estimation.
+		// Random-query reinforcement and error estimation, batched: the
+		// candidate runs word-level directly, the oracle through its
+		// BatchOracle fast path. Patterns are drawn lane-major in the
+		// same RNG order as the historical scalar loop, mismatching
+		// lanes reinforce in ascending pattern order, and partial
+		// chunks fall back to scalar queries — so the estimate, the
+		// added constraints and the oracle query count are all
+		// bit-identical per seed.
 		bound, err := locked.BindInputs(keyPos, key)
 		if err != nil {
 			return nil, err
@@ -196,26 +211,40 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 			return nil, err
 		}
 		wrong := 0
-		for q := 0; q < opt.RandomQueries; q++ {
-			in := make([]bool, len(funcPos))
-			for i := range in {
-				in[i] = rng.Intn(2) == 1
+		for done := 0; done < opt.RandomQueries; {
+			chunk := opt.RandomQueries - done
+			if chunk > 64 {
+				chunk = 64
 			}
-			want := oracle.Query(in)
-			got := candSim.Eval(in)
-			mismatch := false
+			randPatternWords(src, words, chunk)
+			var want []uint64
+			if chunk == 64 {
+				want = batch.QueryWords(words)
+			} else {
+				want = queryLanes(oracle, words, chunk, inBuf, wantBuf)
+			}
+			got := candSim.Run(words)
+			var mask uint64
 			for i := range want {
-				if want[i] != got[i] {
-					mismatch = true
-					break
-				}
+				mask |= want[i] ^ got[i]
 			}
-			if mismatch {
+			if chunk < 64 {
+				mask &= 1<<uint(chunk) - 1
+			}
+			for m := mask; m != 0; m &= m - 1 {
+				lane := bits.TrailingZeros64(m)
+				for i := range inBuf {
+					inBuf[i] = words[i]&(1<<uint(lane)) != 0
+				}
+				for i := range outBuf {
+					outBuf[i] = want[i]&(1<<uint(lane)) != 0
+				}
 				wrong++
-				if err := addConstraint(in, want); err != nil {
+				if err := addConstraint(inBuf, outBuf); err != nil {
 					return nil, err
 				}
 			}
+			done += chunk
 		}
 		res.ErrorEstimate = float64(wrong) / float64(opt.RandomQueries)
 		if res.ErrorEstimate <= opt.ErrorThreshold {

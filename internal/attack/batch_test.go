@@ -1,0 +1,308 @@
+package attack
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/testutil"
+)
+
+// scalarOnly hides SimOracle's QueryWords so AsBatch is forced onto
+// the generic fallback adapter.
+type scalarOnly struct{ o Oracle }
+
+func (s scalarOnly) Query(in []bool) []bool { return s.o.Query(in) }
+func (s scalarOnly) NumInputs() int         { return s.o.NumInputs() }
+func (s scalarOnly) NumOutputs() int        { return s.o.NumOutputs() }
+func (s scalarOnly) Queries() int           { return s.o.Queries() }
+
+// TestQueryWordsMatchesScalar differentially checks the word-level
+// fast path against 64 scalar queries on random netlists: for every
+// lane, QueryWords bit b must equal Query of pattern b — both on the
+// native SimOracle implementation and through the AsBatch fallback
+// adapter.
+func TestQueryWordsMatchesScalar(t *testing.T) {
+	for _, shape := range []struct {
+		inputs, outputs, gates int
+		seed                   int64
+	}{
+		{8, 4, 60, 1},
+		{12, 6, 150, 2},
+		{17, 9, 300, 3}, // odd widths: no lane/word alignment luck
+	} {
+		nl := testutil.RandomCircuit(t, shape.inputs, shape.outputs, shape.gates, shape.seed)
+		batchO, err := NewSimOracle(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarO, err := NewSimOracle(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adapted := AsBatch(scalarOnly{scalarO})
+		if _, isSim := adapted.(*SimOracle); isSim {
+			t.Fatal("AsBatch failed to wrap a scalar-only oracle")
+		}
+		if same := AsBatch(batchO); same != BatchOracle(batchO) {
+			t.Error("AsBatch re-wrapped a native BatchOracle")
+		}
+
+		rng := rand.New(rand.NewSource(shape.seed * 97))
+		in := make([]uint64, shape.inputs)
+		pat := make([]bool, shape.inputs)
+		for round := 0; round < 8; round++ {
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			native := append([]uint64(nil), batchO.QueryWords(in)...)
+			viaAdapter := append([]uint64(nil), adapted.QueryWords(in)...)
+			for lane := 0; lane < 64; lane++ {
+				for i := range pat {
+					pat[i] = in[i]&(1<<uint(lane)) != 0
+				}
+				want := batchO.Query(pat)
+				for o, w := range want {
+					if got := native[o]&(1<<uint(lane)) != 0; got != w {
+						t.Fatalf("%s round %d lane %d output %d: QueryWords=%v scalar=%v",
+							nl.Name, round, lane, o, got, w)
+					}
+					if got := viaAdapter[o]&(1<<uint(lane)) != 0; got != w {
+						t.Fatalf("%s round %d lane %d output %d: adapter=%v scalar=%v",
+							nl.Name, round, lane, o, got, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scalarErrorRate is the historical per-pattern implementation of
+// OracleErrorRate, kept verbatim as the differential reference.
+func scalarErrorRate(a, b Oracle, rounds int, seed int64) float64 {
+	rng := newRand(seed)
+	diff, total := 0, 0
+	in := make([]bool, a.NumInputs())
+	for r := 0; r < rounds*64; r++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		oa := a.Query(in)
+		ob := b.Query(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				diff++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diff) / float64(total)
+}
+
+// TestOracleErrorRateMatchesScalarReference checks that the batched
+// OracleErrorRate returns bit-identical rates and query counts to the
+// scalar loop it replaced, across random circuits, wrong keys and
+// seeds, on both the native fast path and the fallback adapter.
+func TestOracleErrorRateMatchesScalarReference(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		orig := testutil.SmallCircuit(t, 120, seed)
+		locked, keyPos, key := testutil.XORLock(t, orig, 8, seed)
+		bound, err := locked.BindInputs(keyPos, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := testutil.RandomKey(len(keyPos), seed+100)
+		wrongBound, err := locked.BindInputs(keyPos, wrong)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mk := func() (Oracle, Oracle) {
+			a, err := NewSimOracle(wrongBound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewSimOracle(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		}
+
+		a1, b1 := mk()
+		ref := scalarErrorRate(a1, b1, 6, seed*31)
+		a2, b2 := mk()
+		got, err := OracleErrorRate(a2, b2, 6, seed*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Errorf("seed %d: batched rate %v != scalar reference %v", seed, got, ref)
+		}
+		if a2.Queries() != a1.Queries() || b2.Queries() != b1.Queries() {
+			t.Errorf("seed %d: batched counts (%d,%d) != scalar counts (%d,%d)",
+				seed, a2.Queries(), b2.Queries(), a1.Queries(), b1.Queries())
+		}
+		if want := 6 * 64; a2.Queries() != want {
+			t.Errorf("seed %d: %d queries, want %d", seed, a2.Queries(), want)
+		}
+
+		// Fallback adapter path: same numbers again.
+		a3, b3 := mk()
+		got3, err := OracleErrorRate(scalarOnly{a3}, scalarOnly{b3}, 6, seed*31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got3 != ref {
+			t.Errorf("seed %d: adapter rate %v != scalar reference %v", seed, got3, ref)
+		}
+		if a3.Queries() != a1.Queries() {
+			t.Errorf("seed %d: adapter count %d != scalar count %d", seed, a3.Queries(), a1.Queries())
+		}
+	}
+}
+
+// TestOracleErrorRateSelfComparison pins the aliasing edge case: both
+// sides of the comparison backed by the very same oracle object must
+// report zero error (QueryWords buffers may alias).
+func TestOracleErrorRateSelfComparison(t *testing.T) {
+	nl := testutil.SmallCircuit(t, 100, 5)
+	o, err := NewSimOracle(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := OracleErrorRate(o, o, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 0 {
+		t.Errorf("self-comparison error rate %v, want 0", e)
+	}
+}
+
+// loadC17 parses the checked-in real ISCAS-85 c17 netlist.
+func loadC17(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	f, err := os.Open("../../testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	nl, err := netlist.ParseBench("c17", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestErrorRateGoldenC17C432 pins VerifyKey/OracleErrorRate to golden
+// values for fixed (circuit, lock, key, seed) tuples. The sampling is
+// deterministic, so these must stay bit-identical across refactors of
+// the oracle hot path; any drift means the sampled patterns changed.
+func TestErrorRateGoldenC17C432(t *testing.T) {
+	cases := []struct {
+		name   string
+		orig   func(t *testing.T) *netlist.Netlist
+		size   core.Size
+		seed   int64
+		golden float64
+	}{
+		{"c17/2x2", loadC17, core.Size2x2, 17, 0.4130859375},
+		{"c432/8x8", func(t *testing.T) *netlist.Netlist {
+			prof, ok := circuit.ProfileByName("c432")
+			if !ok {
+				t.Fatal("c432 profile missing")
+			}
+			nl, err := prof.Synthesize(1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return nl
+		}, core.Size8x8, 432, 0.548828125},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := core.Lock(tc.orig(t), core.Options{Blocks: 1, Size: tc.size, Seed: tc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := res.ApplyKey(res.Key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := NewSimOracle(bound)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The correct key verifies to exactly zero.
+			if e, err := VerifyKey(res.Locked, res.KeyInputPos, res.Key, oracle, 8, tc.seed); err != nil || e != 0 {
+				t.Errorf("correct key error rate %v (err %v), want 0", e, err)
+			}
+			// A fixed wrong key pins the golden rate.
+			wrong := testutil.RandomKey(res.KeyBits(), tc.seed+7)
+			e, err := VerifyKey(res.Locked, res.KeyInputPos, wrong, oracle, 8, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e != tc.golden {
+				t.Errorf("wrong-key error rate %v, golden %v", e, tc.golden)
+			}
+			if q, want := oracle.Queries(), 2*8*64; q != want {
+				t.Errorf("verification spent %d oracle queries, want %d (two 8-round runs)", q, want)
+			}
+		})
+	}
+}
+
+// TestAppSATDeterminismGoldenC432 pins AppSAT's trajectory on the
+// c432/8x8/seed-432 lock: rounds, DIPs, error estimate and oracle
+// query count must stay bit-identical for the fixed seed before and
+// after the batched reinforcement path.
+func TestAppSATDeterminismGoldenC432(t *testing.T) {
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		t.Fatal("c432 profile missing")
+	}
+	orig, err := prof.Synthesize(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: 432})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewSimOracle(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultAppSAT()
+	opt.Timeout = 2 * time.Minute
+	ar, err := AppSAT(res.Locked, res.KeyInputPos, oracle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Status != KeyFound {
+		t.Fatalf("appsat did not converge: %v", ar)
+	}
+	t.Logf("appsat c432: rounds=%d dips=%d est=%v queries=%d", ar.Rounds, ar.DIPs, ar.ErrorEstimate, oracle.Queries())
+	if ar.Rounds != 2 || ar.DIPs != 8 {
+		t.Errorf("trajectory rounds=%d dips=%d, golden rounds=2 dips=8", ar.Rounds, ar.DIPs)
+	}
+	if ar.ErrorEstimate != 0 {
+		t.Errorf("final error estimate %v, golden 0", ar.ErrorEstimate)
+	}
+	if q := oracle.Queries(); q != 8+64 {
+		t.Errorf("oracle queries %d, golden 72 (8 DIPs + one 64-query estimation round)", q)
+	}
+}

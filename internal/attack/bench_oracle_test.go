@@ -1,0 +1,135 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// benchOracles builds the fixed c432/8x8/seed-432 lock and returns a
+// wrong-key oracle and a correct-key oracle, the standard operands of
+// OracleErrorRate in the report paths.
+func benchOracles(b *testing.B) (*SimOracle, *SimOracle) {
+	b.Helper()
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		b.Fatal("c432 profile missing")
+	}
+	orig, err := prof.Synthesize(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: 432})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wrong := make([]bool, res.KeyBits())
+	wrongBound, err := res.ApplyKey(wrong)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewSimOracle(wrongBound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o, err := NewSimOracle(bound)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, o
+}
+
+// BenchmarkOracleErrorRate measures the 512-pattern (8-round) error
+// estimate on c432 through the batched fast path versus the historical
+// scalar loop it replaced. Both variants sample identical patterns and
+// report identical rates; only the per-pattern dispatch differs.
+func BenchmarkOracleErrorRate(b *testing.B) {
+	a, o := benchOracles(b)
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := OracleErrorRate(a, o, 8, 432); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		sa, so := scalarOnly{a}, scalarOnly{o}
+		for i := 0; i < b.N; i++ {
+			if _, err := OracleErrorRate(sa, so, 8, 432); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOracleQueryWords isolates the oracle dispatch itself: one
+// 64-lane word query versus 64 scalar queries on the same simulator.
+func BenchmarkOracleQueryWords(b *testing.B) {
+	_, o := benchOracles(b)
+	in := make([]uint64, o.NumInputs())
+	for i := range in {
+		in[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	b.Run("words", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.QueryWords(in)
+		}
+	})
+	b.Run("scalar64", func(b *testing.B) {
+		b.ReportAllocs()
+		sb := AsBatch(scalarOnly{o})
+		for i := 0; i < b.N; i++ {
+			sb.QueryWords(in)
+		}
+	})
+}
+
+// BenchmarkOracleAppSATC432 measures the full AppSAT wall-clock on the
+// c432/8x8 lock, whose random-query reinforcement rounds ride the
+// batched oracle path.
+func BenchmarkOracleAppSATC432(b *testing.B) {
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		b.Fatal("c432 profile missing")
+	}
+	orig, err := prof.Synthesize(1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size8x8, Seed: 432})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultAppSAT()
+	opt.Timeout = 2 * time.Minute
+	run := func(b *testing.B, wrap func(*SimOracle) Oracle) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			oracle, err := NewSimOracle(bound)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			ar, err := AppSAT(res.Locked, res.KeyInputPos, wrap(oracle), opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ar.Status != KeyFound {
+				b.Fatalf("appsat did not converge: %v", ar)
+			}
+		}
+	}
+	b.Run("batched", func(b *testing.B) { run(b, func(o *SimOracle) Oracle { return o }) })
+	b.Run("scalar", func(b *testing.B) { run(b, func(o *SimOracle) Oracle { return scalarOnly{o} }) })
+}

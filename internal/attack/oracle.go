@@ -28,6 +28,24 @@ type Oracle interface {
 	Queries() int
 }
 
+// BatchOracle is an Oracle that can answer 64 input patterns per call
+// in the simulator's word-level form, amortizing one circuit
+// evaluation over all 64 lanes. Error-estimation hot loops
+// (OracleErrorRate, AppSAT's random-query reinforcement, removal-
+// attack scoring) run on this interface and fall back to per-pattern
+// Query via AsBatch when an oracle does not implement it natively.
+type BatchOracle interface {
+	Oracle
+	// QueryWords evaluates 64 input patterns at once. in[i] carries
+	// the 64 values of functional input i: bit b of in[i] is input i
+	// of pattern b, matching netlist.Simulator lane order. The result
+	// carries the 64 values of each output and stays valid only until
+	// the next QueryWords call on the same oracle — copy it to retain
+	// it. One call counts as 64 queries, so Queries() accounting is
+	// identical to 64 scalar Query calls.
+	QueryWords(in []uint64) []uint64
+}
+
 // SimOracle is an oracle backed by netlist simulation of the activated
 // circuit (the locked design with the correct key bound, or the
 // scan-mode view of it when scan-enable obfuscation corrupts test
@@ -38,6 +56,9 @@ type Oracle interface {
 // are inherently serialized in the paper's threat model anyway) and
 // the query counter is atomic, so concurrent sweep workers may share
 // one oracle. Workers that must not contend on the lock should Clone.
+// The exception is QueryWords, whose returned buffer is only valid
+// until the next QueryWords call: concurrent batch consumers must
+// Clone rather than share.
 type SimOracle struct {
 	nl      *netlist.Netlist
 	mu      sync.Mutex // guards sim's internal evaluation buffers
@@ -69,6 +90,18 @@ func (o *SimOracle) Query(in []bool) []bool {
 	return o.sim.Eval(in)
 }
 
+// QueryWords implements BatchOracle: one word-level simulation answers
+// 64 patterns under a single lock acquisition, instead of 64 scalar
+// simulations each taking the mutex with only lane 0 populated. The
+// returned slice aliases the simulator's output buffer and is
+// invalidated by any later query on this oracle.
+func (o *SimOracle) QueryWords(in []uint64) []uint64 {
+	o.queries.Add(64)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sim.Run(in)
+}
+
 // NumInputs implements Oracle.
 func (o *SimOracle) NumInputs() int { return len(o.nl.Inputs) }
 
@@ -77,6 +110,62 @@ func (o *SimOracle) NumOutputs() int { return len(o.nl.Outputs) }
 
 // Queries implements Oracle.
 func (o *SimOracle) Queries() int { return int(o.queries.Load()) }
+
+// AsBatch adapts any Oracle to the batched interface. A native
+// BatchOracle is returned unchanged; anything else is wrapped with an
+// adapter that answers QueryWords with 64 scalar Query calls in lane
+// order, so stateful oracles (e.g. a morphing device) observe exactly
+// the query sequence the scalar loop would have issued, and Queries()
+// accounting is unchanged. The adapter owns scratch buffers and is not
+// safe for concurrent use; wrap once per goroutine.
+func AsBatch(o Oracle) BatchOracle {
+	if b, ok := o.(BatchOracle); ok {
+		return b
+	}
+	return &scalarBatch{o: o}
+}
+
+// scalarBatch is the generic BatchOracle fallback over a plain Oracle.
+type scalarBatch struct {
+	o   Oracle
+	in  []bool
+	out []uint64
+}
+
+func (s *scalarBatch) Query(in []bool) []bool { return s.o.Query(in) }
+func (s *scalarBatch) NumInputs() int         { return s.o.NumInputs() }
+func (s *scalarBatch) NumOutputs() int        { return s.o.NumOutputs() }
+func (s *scalarBatch) Queries() int           { return s.o.Queries() }
+
+func (s *scalarBatch) QueryWords(in []uint64) []uint64 {
+	if s.in == nil {
+		s.in = make([]bool, s.o.NumInputs())
+		s.out = make([]uint64, s.o.NumOutputs())
+	}
+	return queryLanes(s.o, in, 64, s.in, s.out)
+}
+
+// queryLanes answers the first n lanes of the word-level patterns in
+// with n scalar queries against o, packing the outputs back into out
+// (which it returns). Partial batches (n < 64) go through this path so
+// every pattern still costs exactly one counted query.
+func queryLanes(o Oracle, in []uint64, n int, inBuf []bool, out []uint64) []uint64 {
+	for i := range out {
+		out[i] = 0
+	}
+	for lane := 0; lane < n; lane++ {
+		for i := range inBuf {
+			inBuf[i] = in[i]&(1<<uint(lane)) != 0
+		}
+		res := o.Query(inBuf)
+		for i, v := range res {
+			if v {
+				out[i] |= 1 << uint(lane)
+			}
+		}
+	}
+	return out
+}
 
 // splitInputs partitions the locked netlist's input positions into key
 // positions (given) and functional positions (the rest, in order).

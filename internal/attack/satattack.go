@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/bits"
+	"math/rand"
 	"time"
 
 	"repro/internal/cnf"
@@ -406,6 +408,25 @@ func encodeConstrainedCopy(solver *sat.Solver, locked *netlist.Netlist, funcPos,
 	return outs, nil
 }
 
+// randPatternWords fills in with `lanes` fresh random patterns drawn
+// pattern-major from src (all inputs of lane 0, then lane 1, …),
+// zeroing the remaining lanes. Each bit is (src.Int63()>>32)&1 — the
+// exact draw math/rand's Intn(2) makes for a power-of-two bound — so
+// the patterns are bit-identical to the per-pattern rng.Intn(2) loops
+// this replaces, minus three layers of wrapper dispatch per bit.
+// Callers holding a *rand.Rand over the same source may interleave
+// draws freely: both sides consume exactly one Int63 per bit.
+func randPatternWords(src rand.Source, in []uint64, lanes int) {
+	for i := range in {
+		in[i] = 0
+	}
+	for lane := uint(0); lane < uint(lanes); lane++ {
+		for i := range in {
+			in[i] |= (uint64(src.Int63()) >> 32 & 1) << lane
+		}
+	}
+}
+
 // VerifyKey checks a recovered key against an oracle by random
 // simulation (rounds × 64 patterns) and reports the observed output
 // error rate. A correct key scores 0.
@@ -422,25 +443,34 @@ func VerifyKey(locked *netlist.Netlist, keyPos []int, key []bool, oracle Oracle,
 }
 
 // OracleErrorRate measures the fraction of disagreeing output bits
-// between two oracles over random queries.
+// between two oracles over rounds × 64 random queries. Both oracles
+// run on the BatchOracle fast path (64 patterns per word-level
+// simulation); plain oracles degrade to scalar queries via AsBatch.
+// The sampled patterns, the returned rate and the per-oracle query
+// counts are bit-identical to the historical scalar loop for any
+// (rounds, seed) — only the evaluation is batched.
 func OracleErrorRate(a, b Oracle, rounds int, seed int64) (float64, error) {
 	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
 		return 0, fmt.Errorf("attack: oracle signature mismatch")
 	}
-	rng := newRand(seed)
+	ba, bb := AsBatch(a), AsBatch(b)
+	src := rand.NewSource(seed)
+	in := make([]uint64, a.NumInputs())
+	oa := make([]uint64, a.NumOutputs())
 	diff, total := 0, 0
-	in := make([]bool, a.NumInputs())
-	for r := 0; r < rounds*64; r++ {
-		for i := range in {
-			in[i] = rng.Intn(2) == 1
-		}
-		oa := a.Query(in)
-		ob := b.Query(in)
+	for r := 0; r < rounds; r++ {
+		// Draw pattern-major (all inputs of lane 0, then lane 1, …) so
+		// lane b of word i reproduces exactly the bit the scalar loop
+		// drew for (pattern r*64+b, input i).
+		randPatternWords(src, in, 64)
+		// Copy a's result: the two oracles may share one simulator
+		// (self-comparison), and QueryWords buffers are only valid
+		// until the owner's next query.
+		copy(oa, ba.QueryWords(in))
+		ob := bb.QueryWords(in)
 		for i := range oa {
-			if oa[i] != ob[i] {
-				diff++
-			}
-			total++
+			diff += bits.OnesCount64(oa[i] ^ ob[i])
+			total += 64
 		}
 	}
 	if total == 0 {

@@ -37,6 +37,12 @@ func (r *SensitizeResult) String() string {
 // with a CEGAR loop (candidate pattern from one solver, countermodel
 // from another); a pattern that survives is golden: one oracle query
 // fixes bit i. perBitBudget bounds the CEGAR iterations per bit.
+//
+// Golden patterns are swept through the oracle's BatchOracle fast
+// path, 64 patterns per word-level simulation, after the per-bit CEGAR
+// search; each pattern still costs exactly one counted query and the
+// oracle sees them in bit order, so Queries and the recovered key are
+// identical to the per-bit scalar probing this replaces.
 func Sensitize(locked *netlist.Netlist, keyPos []int, oracle Oracle, perBitBudget int, timeout time.Duration) (*SensitizeResult, error) {
 	start := time.Now()
 	funcPos, err := splitInputs(locked, keyPos)
@@ -45,6 +51,10 @@ func Sensitize(locked *netlist.Netlist, keyPos []int, oracle Oracle, perBitBudge
 	}
 	if oracle.NumInputs() != len(funcPos) {
 		return nil, fmt.Errorf("attack: sensitize: oracle arity mismatch")
+	}
+	decodeSim, err := netlist.NewSimulator(locked)
+	if err != nil {
+		return nil, err
 	}
 	res := &SensitizeResult{
 		Key:  make([]bool, len(keyPos)),
@@ -55,6 +65,13 @@ func Sensitize(locked *netlist.Netlist, keyPos []int, oracle Oracle, perBitBudge
 		deadline = start.Add(timeout)
 	}
 
+	// One probe per golden pattern found; the oracle sweep runs
+	// batched once the (SAT-bound) searches are done.
+	type probe struct {
+		bit, outIdx int
+		pattern     []bool
+	}
+	var pending []probe
 	for bit := range keyPos {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			res.Unresolved = len(keyPos) - bit + res.Unresolved
@@ -68,21 +85,50 @@ func Sensitize(locked *netlist.Netlist, keyPos []int, oracle Oracle, perBitBudge
 			res.Unresolved++
 			continue
 		}
-		// Query the oracle once; the observed output reveals the bit.
-		out := oracle.Query(pattern)
+		pending = append(pending, probe{bit: bit, outIdx: outIdx, pattern: pattern})
 		res.Queries++
-		// Determine which key value reproduces the observation: since
-		// the pattern is golden, the output at outIdx is k ⊕ c for a
-		// fixed polarity; evaluate the locked circuit with ki=0 and an
-		// arbitrary setting of the rest.
-		probe := make([]bool, len(keyPos)) // rest = all zeros, ki = 0
-		v0, err := evalLockedAt(locked, keyPos, funcPos, probe, pattern, outIdx)
-		if err != nil {
-			return nil, err
-		}
-		res.Key[bit] = out[outIdx] != v0 // if oracle differs, ki = 1
-		res.Mask[bit] = true
 		res.Resolved++
+	}
+
+	// Sweep the golden patterns through the oracle: full groups of 64
+	// via QueryWords, the remainder as scalar queries, in bit order
+	// either way. The observed output reveals each bit: since the
+	// pattern is golden, output outIdx is k ⊕ c for a fixed polarity,
+	// so comparing against the locked circuit at ki=0 (rest arbitrary,
+	// all zeros here) decodes the oracle's value.
+	batch := AsBatch(oracle)
+	words := make([]uint64, len(funcPos))
+	inBuf := make([]bool, len(funcPos))
+	outBuf := make([]uint64, oracle.NumOutputs())
+	zeroKey := make([]bool, len(keyPos))
+	for startIdx := 0; startIdx < len(pending); startIdx += 64 {
+		n := len(pending) - startIdx
+		if n > 64 {
+			n = 64
+		}
+		for i := range words {
+			words[i] = 0
+		}
+		for lane := 0; lane < n; lane++ {
+			for i, v := range pending[startIdx+lane].pattern {
+				if v {
+					words[i] |= 1 << uint(lane)
+				}
+			}
+		}
+		var out []uint64
+		if n == 64 {
+			out = batch.QueryWords(words)
+		} else {
+			out = queryLanes(oracle, words, n, inBuf, outBuf)
+		}
+		for lane := 0; lane < n; lane++ {
+			p := pending[startIdx+lane]
+			observed := out[p.outIdx]&(1<<uint(lane)) != 0
+			v0 := evalLockedAt(decodeSim, keyPos, funcPos, zeroKey, p.pattern, p.outIdx)
+			res.Key[p.bit] = observed != v0 // if oracle differs, ki = 1
+			res.Mask[p.bit] = true
+		}
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
@@ -271,19 +317,15 @@ func valueConstant(locked *netlist.Netlist, keyPos, funcPos []int, bit int, patt
 	return false, nil // timeout: cannot certify, treat as non-golden
 }
 
-// evalLockedAt simulates the locked netlist on (key, pattern) and
-// returns output outIdx.
-func evalLockedAt(locked *netlist.Netlist, keyPos, funcPos []int, key, pattern []bool, outIdx int) (bool, error) {
-	sim, err := netlist.NewSimulator(locked)
-	if err != nil {
-		return false, err
-	}
-	in := make([]bool, len(locked.Inputs))
+// evalLockedAt simulates the locked netlist on (key, pattern) via the
+// shared decode simulator and returns output outIdx.
+func evalLockedAt(sim *netlist.Simulator, keyPos, funcPos []int, key, pattern []bool, outIdx int) bool {
+	in := make([]bool, len(keyPos)+len(funcPos))
 	for i, p := range keyPos {
 		in[p] = key[i]
 	}
 	for i, p := range funcPos {
 		in[p] = pattern[i]
 	}
-	return sim.Eval(in)[outIdx], nil
+	return sim.Eval(in)[outIdx]
 }

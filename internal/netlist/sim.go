@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 )
 
@@ -12,6 +13,8 @@ type Simulator struct {
 	n     *Netlist
 	order []int
 	vals  []uint64
+	out   []uint64 // Run's reusable output buffer
+	evIn  []uint64 // Eval's reusable input-word scratch
 }
 
 // NewSimulator prepares a simulator for the netlist. It returns an
@@ -21,7 +24,11 @@ func NewSimulator(n *Netlist) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{n: n, order: order, vals: make([]uint64, len(n.Gates))}, nil
+	return &Simulator{
+		n: n, order: order,
+		vals: make([]uint64, len(n.Gates)),
+		out:  make([]uint64, len(n.Outputs)),
+	}, nil
 }
 
 // Run evaluates 64 input patterns at once. in[i] carries the 64 values
@@ -85,20 +92,25 @@ func (s *Simulator) Run(in []uint64) []uint64 {
 			panic(fmt.Sprintf("netlist %q: unsupported gate type %s", s.n.Name, g.Type))
 		}
 	}
-	out := make([]uint64, len(s.n.Outputs))
 	for i, id := range s.n.Outputs {
-		out[i] = s.vals[id]
+		s.out[i] = s.vals[id]
 	}
-	return out
+	return s.out
 }
 
 // Value returns the last simulated word for the given gate ID.
 func (s *Simulator) Value(id int) uint64 { return s.vals[id] }
 
-// Eval evaluates a single Boolean input assignment.
+// Eval evaluates a single Boolean input assignment. Unlike Run, the
+// returned slice is freshly allocated: scalar callers (oracles,
+// decoders) routinely retain it across evaluations.
 func (s *Simulator) Eval(in []bool) []bool {
-	words := make([]uint64, len(in))
+	if s.evIn == nil {
+		s.evIn = make([]uint64, len(s.n.Inputs))
+	}
+	words := s.evIn
 	for i, b := range in {
+		words[i] = 0
 		if b {
 			words[i] = 1
 		}
@@ -140,11 +152,13 @@ func Equivalent(a, b *Netlist, maxExhaustive, nSamples int, seed int64) (bool, [
 		for i := range in {
 			in[i] = rng.Uint64()
 		}
-		oa := append([]uint64(nil), sa.Run(in)...)
+		// sa and sb own separate output buffers, so both results stay
+		// valid side by side without a defensive copy.
+		oa := sa.Run(in)
 		ob := sb.Run(in)
 		for i := range oa {
 			if d := oa[i] ^ ob[i]; d != 0 {
-				bit := trailingOne(d)
+				bit := bits.TrailingZeros64(d)
 				cex := make([]bool, ni)
 				for j := range cex {
 					cex[j] = in[j]&(1<<bit) != 0
@@ -173,11 +187,11 @@ func exhaustiveEquiv(sa, sb *Simulator, ni int) (bool, []bool, error) {
 		if total-base < 64 {
 			valid = (1 << uint(total-base)) - 1
 		}
-		oa := append([]uint64(nil), sa.Run(in)...)
+		oa := sa.Run(in)
 		ob := sb.Run(in)
 		for i := range oa {
 			if d := (oa[i] ^ ob[i]) & valid; d != 0 {
-				bit := trailingOne(d)
+				bit := bits.TrailingZeros64(d)
 				pat := base + bit
 				cex := make([]bool, ni)
 				for j := range cex {
@@ -188,15 +202,6 @@ func exhaustiveEquiv(sa, sb *Simulator, ni int) (bool, []bool, error) {
 		}
 	}
 	return true, nil, nil
-}
-
-func trailingOne(w uint64) int {
-	for i := 0; i < 64; i++ {
-		if w&(1<<i) != 0 {
-			return i
-		}
-	}
-	return -1
 }
 
 // OutputCorruptibility estimates, over nRounds 64-pattern random
@@ -223,10 +228,10 @@ func OutputCorruptibility(a, b *Netlist, nRounds int, seed int64) (float64, erro
 		for i := range in {
 			in[i] = rng.Uint64()
 		}
-		oa := append([]uint64(nil), sa.Run(in)...)
+		oa := sa.Run(in)
 		ob := sb.Run(in)
 		for i := range oa {
-			diff += popcount64(oa[i] ^ ob[i])
+			diff += bits.OnesCount64(oa[i] ^ ob[i])
 			total += 64
 		}
 	}
@@ -234,12 +239,4 @@ func OutputCorruptibility(a, b *Netlist, nRounds int, seed int64) (float64, erro
 		return 0, nil
 	}
 	return float64(diff) / float64(total), nil
-}
-
-func popcount64(w uint64) int {
-	c := 0
-	for ; w != 0; w &= w - 1 {
-		c++
-	}
-	return c
 }

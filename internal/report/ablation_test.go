@@ -1,6 +1,7 @@
 package report
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -65,13 +66,22 @@ func TestDynamicMorphingTable(t *testing.T) {
 	}
 	// Neither oracle mode may yield a functionally correct key.
 	for _, row := range tb.Rows {
-		if row[4] == "yes" {
+		if row[5] == "yes" {
 			t.Errorf("attack recovered a functional key through the scan oracle:\n%s", tb.String())
+		}
+	}
+	// The "oracle queries" column reports attack queries only: at
+	// least one per DIP, snapshotted before key validation.
+	for _, row := range tb.Rows {
+		dips, err1 := strconv.Atoi(row[1])
+		queries, err2 := strconv.Atoi(row[2])
+		if err1 != nil || err2 != nil || queries < dips {
+			t.Errorf("oracle-query column %q inconsistent with %q DIPs: %v", row[2], row[1], row)
 		}
 	}
 	// The morphing row must have advanced at least one epoch unless the
 	// attack finished immediately.
-	if tb.Rows[1][2] == "0" && !strings.Contains(tb.Rows[1][3], "key-found") {
+	if tb.Rows[1][3] == "0" && !strings.Contains(tb.Rows[1][4], "key-found") {
 		t.Logf("no morph epochs elapsed: %v", tb.Rows[1])
 	}
 }

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/netlist"
+)
+
+// TestVerdictLeavesAttackOracleCounts pins the query-count accounting
+// contract on the real ISCAS-85 c17: the attack oracle's Queries()
+// reports attack queries only. verdict's 8×64 validation patterns run
+// against a clone and must not land on the attack oracle's counter,
+// which for the exact attack equals the DIP count exactly.
+func TestVerdictLeavesAttackOracleCounts(t *testing.T) {
+	f, err := os.Open("../../testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig, err := netlist.ParseBench("c17", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Lock(orig, core.Options{Blocks: 1, Size: core.Size2x2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := res.ApplyKey(res.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := attack.NewSimOracle(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
+		attack.SATOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.Status != attack.KeyFound {
+		t.Fatalf("attack did not converge: %v", ar)
+	}
+
+	attackQueries := oracle.Queries()
+	if attackQueries != ar.Iterations {
+		t.Errorf("attack spent %d queries over %d DIPs; the exact attack pays one query per DIP",
+			attackQueries, ar.Iterations)
+	}
+	// Recorded envelope for c17/2x2/seed 17: 7 DIPs, 7 queries (same
+	// bound as internal/attack's TestOracleQueryCountC17).
+	if attackQueries < 3 || attackQueries > 14 {
+		t.Errorf("attack query count %d outside recorded envelope [3, 14]", attackQueries)
+	}
+
+	if v := verdict(res.Locked, res.KeyInputPos, ar.Key, ar.Status, oracle); v != "yes" {
+		t.Errorf("verdict = %q for a correct recovered key, want yes", v)
+	}
+	if got := oracle.Queries(); got != attackQueries {
+		t.Errorf("key validation leaked %d queries onto the attack oracle (%d -> %d); the oracle-query columns must report attack queries only",
+			got-attackQueries, attackQueries, got)
+	}
+}

@@ -367,7 +367,10 @@ func appSATSucceeds(ctx context.Context, orig *netlist.Netlist, cfg AttackConfig
 	if ar.Status != attack.KeyFound {
 		return false, nil
 	}
-	// Validate against the real functional circuit.
+	// Validate against the real functional circuit. The validation
+	// oracle is deliberately separate from scanOracle: the 8×64
+	// verification patterns must never inflate the attack oracle's
+	// query count (the quantity the paper's tables budget).
 	fBound, err := res.ApplyKey(res.Key)
 	if err != nil {
 		return false, err

@@ -7,6 +7,7 @@ package sta
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/netlist"
@@ -155,7 +156,7 @@ func SwitchingActivity(nl *netlist.Netlist, rounds int, seed int64) (perGate []f
 		if r > 0 {
 			for id := range toggles {
 				cur := sim.Value(id)
-				toggles[id] += float64(popcount(cur ^ prev[id]))
+				toggles[id] += float64(bits.OnesCount64(cur ^ prev[id]))
 			}
 			samples += 64
 		}
@@ -173,14 +174,6 @@ func SwitchingActivity(nl *netlist.Netlist, rounds int, seed int64) (perGate []f
 		powerProxy += perGate[id] * float64(transistors(g.Type, len(g.Fanin)))
 	}
 	return perGate, powerProxy, nil
-}
-
-func popcount(w uint64) int {
-	c := 0
-	for ; w != 0; w &= w - 1 {
-		c++
-	}
-	return c
 }
 
 // PPA bundles the three metrics.
