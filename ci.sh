@@ -3,15 +3,20 @@
 #
 #   ./ci.sh
 #
-# Steps: formatting, vet, build, tests under the race detector, a
-# doubled -race pass over the sweep runner (scheduling-sensitive), a
-# coverage gate on the checkpoint-bearing packages, a fuzz smoke stage
-# (10s per parser/journal target), the netlint gate — every checked-in
-# .bench benchmark and a freshly locked circuit must lint clean, and
+# Steps: formatting, vet plus the repo-local Go lint (cmd/repolint —
+# no math/rand global source in non-test code), build, tests under the
+# race detector, a doubled -race pass over the sweep runner
+# (scheduling-sensitive), a coverage gate on the checkpoint-bearing
+# packages, a benchmark smoke that also emits BENCH_6.json, a fuzz
+# smoke stage (10s per parser/journal/audit target), the netlint gate
+# — every checked-in .bench benchmark and a freshly locked circuit
+# must pass the full analyzer set including the resilience audit,
 # deliberately broken netlists (combinational cycle, dead key bit)
-# must be rejected with the right analyzer named — and finally a
-# kill-and-resume smoke: a checkpointed attack sweep is SIGKILLed
-# mid-run, resumed, and must end with a complete manifest.
+# must be rejected with the right analyzer named, and the planted
+# redundant-key fixture must be caught by the audit with the right
+# effective key length — and finally a kill-and-resume smoke: a
+# checkpointed attack sweep is SIGKILLed mid-run, resumed, and must
+# end with a complete manifest.
 set -eu
 
 echo "== gofmt =="
@@ -24,6 +29,9 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== repolint (no math/rand global source in non-test code) =="
+go run ./cmd/repolint ./...
 
 echo "== go build =="
 go build ./...
@@ -50,23 +58,55 @@ for pkg in ./internal/attack/ ./internal/sweep/; do
 done
 
 echo "== benchmark smoke (oracle fast path compiles and runs) =="
-go test ./internal/attack/ -run='^$' -bench=Oracle -benchtime=1x
+go test ./internal/attack/ -run='^$' -bench=Oracle -benchtime=1x | tee bench_smoke.out
+# Publish the smoke results as BENCH_6.json (one object per benchmark)
+# so downstream tooling can trend the oracle fast path without parsing
+# go test output.
+awk '
+    BEGIN { print "["; n = 0 }
+    /^Benchmark/ {
+        if (n++) print ",";
+        printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+    }
+    END { if (n) print ""; print "]" }
+' bench_smoke.out > BENCH_6.json
+rm -f bench_smoke.out
+[ -s BENCH_6.json ] || { echo "ci: BENCH_6.json is empty" >&2; exit 1; }
+echo "ci: wrote BENCH_6.json"
 
-echo "== fuzz smoke (10s per parser/journal target) =="
+echo "== fuzz smoke (10s per parser/journal/audit target) =="
 for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do
     go test ./internal/netlist/ -run='^$' -fuzz="^${target}\$" -fuzztime=10s
 done
 go test ./internal/attack/ -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=10s
+go test ./internal/netlint/ -run='^$' -fuzz='^FuzzResilienceAnalyzers$' -fuzztime=10s
 
 echo "== netlint: checked-in benchmarks =="
 go run ./cmd/netlint testdata/...
 
-echo "== netlint: freshly locked circuit =="
+echo "== netlint: freshly locked circuit (full analyzer set incl. audit) =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/locker -in testdata/c17.bench -scheme ril -size 2x2 -blocks 1 \
     -seed 1 -out "$tmp/locked.bench" -keyout "$tmp/key.txt"
 go run ./cmd/netlint -key "$tmp/key.txt" "$tmp/locked.bench"
+
+echo "== netlint: resilience audit catches the planted weak fixture =="
+if go run ./cmd/netlint -scan cmd/netlint/testdata/audit_redundant_scan.json \
+    cmd/netlint/testdata/audit_redundant.bench > "$tmp/audit.out" 2>&1; then
+    echo "ci: netlint passed the planted redundant-key fixture" >&2
+    cat "$tmp/audit.out" >&2
+    exit 1
+fi
+for want in 'key-const-prop' 'key-equivalence' 'removal-vulnerability' 'scan-exposure' \
+    'effective key length 3 of 7'; do
+    grep -q "$want" "$tmp/audit.out" || {
+        echo "ci: audit output missing \"$want\":" >&2
+        cat "$tmp/audit.out" >&2
+        exit 1
+    }
+done
+echo "ci: audit reports effective key length 3 of 7 on the planted fixture"
 
 echo "== netlint: broken netlists must be rejected =="
 cat > "$tmp/cycle.bench" <<'EOF'

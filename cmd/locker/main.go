@@ -59,8 +59,10 @@ func main() {
 
 	// Refuse to emit a structurally unsound or weakened lock: a cycle,
 	// an undriven net, or dead key material is a defect of the lock, not
-	// a property for the attacker to discover.
-	lint, err := netlint.Run(locked, lintOpts)
+	// a property for the attacker to discover. The emit gate runs the
+	// cheap hygiene set only; the cofactor-sweeping resilience audit is
+	// a separate stage (cmd/netlint, the ci.sh audit gate).
+	lint, err := netlint.Run(locked, lintOpts, netlint.Hygiene()...)
 	if err != nil {
 		fail(err)
 	}

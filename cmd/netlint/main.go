@@ -2,8 +2,12 @@
 // cycles (with the concrete cycle path), undriven nets, dead logic,
 // key bits that influence no primary output (effective vs. nominal key
 // length), constant/pass-through LUT configurations, and scan-chain
-// integrity. It parses laxly, so structurally broken netlists — the
-// ones worth linting — are analyzed rather than rejected.
+// integrity — plus the oracle-less resilience audit (key-cofactor
+// constant propagation, key-equivalence funnels, removal-vulnerability
+// matching, scan exposure) that computes the effective key length an
+// oracle-less attacker faces. It parses laxly, so structurally broken
+// netlists — the ones worth linting — are analyzed rather than
+// rejected.
 //
 // Usage:
 //
@@ -14,16 +18,25 @@
 //
 //	netlint testdata/...
 //	netlint -key key.txt locked.bench
+//	netlint -scan chains.json -json locked.bench
 //	netlint -json -analyzers comb-cycle,key-influence locked.bench
 //
+// The -scan file is the JSON form of netlint.ScanSpec:
+//
+//	{"chains": [{"name": "...", "width": 2, "cells": ["...", "..."], "key_chain": false}]}
+//
 // Exit status: 0 when no Error-level diagnostics were found, 1 when at
-// least one netlist has errors, 2 on usage or I/O failure.
+// least one netlist has errors, 2 on usage or I/O failure. JSON output
+// is a deterministic array of netlint.Result values in input order, so
+// downstream consumers (the planned lint daemon) can rely on stable
+// field order and exit codes.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -35,52 +48,69 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("netlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut   = flag.Bool("json", false, "emit machine-readable JSON instead of text")
-		keyFile   = flag.String("key", "", "key file (name=bit per line) enabling const-lut evaluation")
-		keyPrefix = flag.String("keyprefix", "keyinput", "key input name prefix")
-		names     = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
-		minSev    = flag.String("severity", "info", "minimum severity to print: info|warn|error")
-		list      = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON instead of text")
+		keyFile   = fs.String("key", "", "key file (name=bit per line) enabling const-lut evaluation")
+		scanFile  = fs.String("scan", "", "scan-chain spec (JSON) enabling the scan-integrity and scan-exposure analyzers")
+		keyPrefix = fs.String("keyprefix", "keyinput", "key input name prefix")
+		names     = fs.String("analyzers", "", "comma-separated analyzer subset (default: all, hygiene plus audit)")
+		minSev    = fs.String("severity", "info", "minimum severity to print: info|warn|error")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range netlint.All() {
-			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-22s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "netlint: no input files (try: netlint testdata/...)")
-		os.Exit(2)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "netlint: no input files (try: netlint testdata/...)")
+		return 2
 	}
 	threshold, err := netlint.ParseSeverity(*minSev)
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
-	var analyzers []*netlint.Analyzer
+	// The CLI is the audit surface: with no explicit subset it runs
+	// everything, not just Run's hygiene default.
+	analyzers := netlint.All()
 	if *names != "" {
 		analyzers, err = netlint.ByName(strings.Split(*names, ",")...)
 		if err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 	}
 	opts := netlint.Options{KeyPrefix: *keyPrefix}
 	if *keyFile != "" {
 		opts.Key, err = readKeyFile(*keyFile)
 		if err != nil {
-			fail(err)
+			return fail(stderr, err)
+		}
+	}
+	if *scanFile != "" {
+		opts.Scan, err = readScanFile(*scanFile)
+		if err != nil {
+			return fail(stderr, err)
 		}
 	}
 
-	files, err := expandPaths(flag.Args())
+	files, err := expandPaths(fs.Args())
 	if err != nil {
-		fail(err)
+		return fail(stderr, err)
 	}
 	if len(files) == 0 {
-		fmt.Fprintln(os.Stderr, "netlint: no .bench files matched")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "netlint: no .bench files matched")
+		return 2
 	}
 
 	failed := false
@@ -88,7 +118,7 @@ func main() {
 	for _, path := range files {
 		res, err := lintFile(path, opts, analyzers)
 		if err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 		if res.HasErrors() {
 			failed = true
@@ -97,36 +127,51 @@ func main() {
 			results = append(results, res)
 			continue
 		}
-		printed := false
-		for _, d := range res.Diagnostics {
-			if d.Severity < threshold {
-				continue
-			}
-			fmt.Printf("%s: %s\n", path, d)
-			printed = true
-		}
-		if kr := res.KeyReport; kr != nil && threshold == netlint.Info {
-			fmt.Printf("%s: key-influence histogram (outputs reached -> key bits):", path)
-			for _, bin := range kr.Histogram {
-				fmt.Printf(" %d->%d", bin.Outputs, bin.Keys)
-			}
-			fmt.Println()
-		}
-		if printed || res.HasErrors() {
-			fmt.Printf("%s: %d error(s), %d warning(s)\n", path, res.Count(netlint.Error), res.Count(netlint.Warn))
-		} else {
-			fmt.Printf("%s: ok\n", path)
-		}
+		printText(stdout, path, res, threshold)
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
-			fail(err)
+			return fail(stderr, err)
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+func printText(w io.Writer, path string, res *netlint.Result, threshold netlint.Severity) {
+	printed := false
+	for _, d := range res.Diagnostics {
+		if d.Severity < threshold {
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s\n", path, d)
+		printed = true
+	}
+	if kr := res.KeyReport; kr != nil && threshold == netlint.Info {
+		fmt.Fprintf(w, "%s: key-influence histogram (outputs reached -> key bits):", path)
+		for _, bin := range kr.Histogram {
+			fmt.Fprintf(w, " %d->%d", bin.Outputs, bin.Keys)
+		}
+		fmt.Fprintln(w)
+	}
+	if rep := res.Resilience; rep != nil && threshold == netlint.Info {
+		for _, pr := range rep.Pruned {
+			fmt.Fprintf(w, "%s: resilience: %s bit %s (%s, %s proof): %s\n",
+				path, pr.Class, pr.Key, pr.Analyzer, pr.Proof, pr.Reason)
+		}
+		for _, g := range rep.Linked {
+			fmt.Fprintf(w, "%s: resilience: %s group {%s} via %s (%s proof)\n",
+				path, g.Kind, strings.Join(g.Keys, ", "), g.Via, g.Proof)
+		}
+	}
+	if printed || res.HasErrors() {
+		fmt.Fprintf(w, "%s: %d error(s), %d warning(s)\n", path, res.Count(netlint.Error), res.Count(netlint.Warn))
+	} else {
+		fmt.Fprintf(w, "%s: ok\n", path)
 	}
 }
 
@@ -207,7 +252,21 @@ func readKeyFile(path string) (map[string]bool, error) {
 	return key, nil
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "netlint:", err)
-	os.Exit(2)
+func readScanFile(path string) (*netlint.ScanSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var spec netlint.ScanSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("scan spec %s: %w", path, err)
+	}
+	return &spec, nil
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "netlint:", err)
+	return 2
 }

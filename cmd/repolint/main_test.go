@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, path string) []string {
+	t.Helper()
+	findings, err := lintFile(token.NewFileSet(), path)
+	if err != nil {
+		t.Fatalf("lintFile(%s): %v", path, err)
+	}
+	return findings
+}
+
+func TestFlagsGlobalSourceUse(t *testing.T) {
+	findings := lint(t, "testdata/bad_global.go")
+	if len(findings) != 3 {
+		t.Fatalf("bad_global.go: %d findings, want 3 (Seed, Intn, Int63):\n%s",
+			len(findings), strings.Join(findings, "\n"))
+	}
+	for _, want := range []string{"mrand.Seed", "mrand.Intn", "mrand.Int63"} {
+		found := false
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no finding for %s:\n%s", want, strings.Join(findings, "\n"))
+		}
+	}
+}
+
+func TestFlagsRandV2(t *testing.T) {
+	findings := lint(t, "testdata/bad_v2.go")
+	if len(findings) != 1 || !strings.Contains(findings[0], "math/rand/v2") {
+		t.Fatalf("bad_v2.go: want one math/rand/v2 finding, got:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestFlagsDotImport(t *testing.T) {
+	findings := lint(t, "testdata/bad_dot.go")
+	if len(findings) != 1 || !strings.Contains(findings[0], "dot import") {
+		t.Fatalf("bad_dot.go: want one dot-import finding, got:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestAllowsSeededSourceAndForeignRand(t *testing.T) {
+	for _, path := range []string{"testdata/good_seeded.go", "testdata/good_crypto.go"} {
+		if findings := lint(t, path); len(findings) != 0 {
+			t.Errorf("%s: unexpected findings:\n%s", path, strings.Join(findings, "\n"))
+		}
+	}
+}
+
+func TestTestFilesExempt(t *testing.T) {
+	if findings := lint(t, "testdata/good_test_exempt_test.go"); len(findings) != 0 {
+		t.Fatalf("_test.go file was linted:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	runCode := func(args ...string) (int, string) {
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		return code, stdout.String() + stderr.String()
+	}
+	if code, out := runCode("testdata/bad_global.go"); code != 1 {
+		t.Errorf("bad fixture: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := runCode("testdata/good_seeded.go"); code != 0 {
+		t.Errorf("good fixture: exit %d, want 0\n%s", code, out)
+	}
+	if code, _ := runCode(); code != 2 {
+		t.Error("no args must exit 2")
+	}
+	if code, _ := runCode("testdata/nonexistent.go"); code != 2 {
+		t.Error("missing file must exit 2")
+	}
+	// The repo itself must be clean — this is the same invocation
+	// ci.sh gates on.
+	if code, out := runCode("../../..."); code != 0 {
+		t.Errorf("repo is not repolint-clean (exit %d):\n%s", code, out)
+	}
+}

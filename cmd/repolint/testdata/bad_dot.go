@@ -1,0 +1,6 @@
+// Fixture: dot imports hide global-source calls and are findings.
+package fixture
+
+import . "math/rand"
+
+var _ = func() int { return Intn(6) }

@@ -1,0 +1,11 @@
+// Fixture: every flavor of global-source use repolint must flag.
+package fixture
+
+import (
+	mrand "math/rand"
+)
+
+func roll() int {
+	mrand.Seed(42)
+	return mrand.Intn(6) + int(mrand.Int63()%6)
+}

@@ -1,0 +1,8 @@
+// Fixture: math/rand/v2 global-source use is flagged the same way.
+package fixture
+
+import "math/rand/v2"
+
+func rollV2() int {
+	return rand.IntN(6)
+}

@@ -1,0 +1,11 @@
+// Fixture: crypto/rand shares the local name "rand" but is a
+// different package — its package-level calls must not be flagged.
+package fixture
+
+import "crypto/rand"
+
+func nonce(n int) ([]byte, error) {
+	b := make([]byte, n)
+	_, err := rand.Read(b)
+	return b, err
+}

@@ -1,0 +1,8 @@
+// Fixture: _test.go files are exempt from the global-source rule.
+package fixture
+
+import "math/rand"
+
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|ablation|dynamic|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|ablation|dynamic|audit|all")
 		timeout = flag.Duration("timeout", 2*time.Second, "SAT-attack timeout per run (paper: 120h)")
 		jobs    = flag.Int("jobs", 0, "parallel attack workers per experiment (0 = all CPUs, 1 = sequential)")
 		scale   = flag.Float64("scale", 0.25, "benchmark circuit scale in (0,1]")
@@ -149,6 +149,8 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 		return show(report.LUTSizeTable(cfg, 6))
 	case "dynamic":
 		return show(report.DynamicMorphing(cfg, 2))
+	case "audit":
+		return show(report.ResilienceTable(cfg))
 	case "all":
 		counts, err := parseCounts(countsCSV)
 		if err != nil {

@@ -1,0 +1,79 @@
+package attack
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// KeyFlipError measures, over nRounds random 64-pattern rounds driven
+// through the batched oracle fast path, the fraction of (pattern,
+// output) pairs on which the locked circuit activated with key
+// disagrees with the same circuit activated with the bits at bitsToFlip
+// (key-vector indices) inverted. It is the oracle-side ground truth the
+// netlint resilience audit is cross-validated against: a key bit the
+// audit discards as output-irrelevant must score exactly zero here, and
+// a parity-linked pair must score zero when both bits flip together
+// (see DESIGN.md §10).
+func KeyFlipError(locked *netlist.Netlist, keyPos []int, key []bool, bitsToFlip []int, nRounds int, seed int64) (float64, error) {
+	if len(keyPos) != len(key) {
+		return 0, fmt.Errorf("attack: %d key positions for %d key bits", len(keyPos), len(key))
+	}
+	if nRounds <= 0 {
+		return 0, fmt.Errorf("attack: KeyFlipError needs at least one round")
+	}
+	flipped := append([]bool(nil), key...)
+	for _, b := range bitsToFlip {
+		if b < 0 || b >= len(key) {
+			return 0, fmt.Errorf("attack: flip bit %d out of range for %d-bit key", b, len(key))
+		}
+		flipped[b] = !flipped[b]
+	}
+	base, err := locked.BindInputs(keyPos, key)
+	if err != nil {
+		return 0, fmt.Errorf("attack: bind canonical key: %w", err)
+	}
+	alt, err := locked.BindInputs(keyPos, flipped)
+	if err != nil {
+		return 0, fmt.Errorf("attack: bind flipped key: %w", err)
+	}
+	ob, err := NewSimOracle(base)
+	if err != nil {
+		return 0, err
+	}
+	oa, err := NewSimOracle(alt)
+	if err != nil {
+		return 0, err
+	}
+	bb, ba := AsBatch(ob), AsBatch(oa)
+	if bb.NumInputs() != ba.NumInputs() || bb.NumOutputs() != ba.NumOutputs() {
+		return 0, fmt.Errorf("attack: activated circuits disagree on signature")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]uint64, bb.NumInputs())
+	mismatch, total := 0, 0
+	for r := 0; r < nRounds; r++ {
+		for i := range in {
+			in[i] = rng.Uint64()
+		}
+		// Distinct oracles own distinct simulator buffers, so both
+		// result slices stay valid side by side.
+		rb := bb.QueryWords(in)
+		ra := ba.QueryWords(in)
+		for i := range rb {
+			mismatch += bits.OnesCount64(rb[i] ^ ra[i])
+		}
+		total += 64 * len(rb)
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return float64(mismatch) / float64(total), nil
+}
+
+// KeyBitFlipError is KeyFlipError for a single key bit.
+func KeyBitFlipError(locked *netlist.Netlist, keyPos []int, key []bool, bit, nRounds int, seed int64) (float64, error) {
+	return KeyFlipError(locked, keyPos, key, []int{bit}, nRounds, seed)
+}

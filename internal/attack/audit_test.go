@@ -1,0 +1,116 @@
+package attack
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/netlint"
+	"repro/internal/netlist"
+	"repro/internal/testutil"
+)
+
+// The differential cross-validation the resilience audit's
+// trustworthiness rests on (DESIGN.md §10): every key bit the audit
+// discards must be output-irrelevant under the batched oracle, every
+// parity-linked pair must be invariant under a joint flip, and a
+// sound bit must visibly corrupt outputs when flipped — on both c17
+// and c432.
+func TestAuditPrunesAreOracleIrrelevant(t *testing.T) {
+	c17 := func(t *testing.T) *netlist.Netlist {
+		f, err := os.Open("../../testdata/c17.bench")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		nl, err := netlist.ParseBench("c17", f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl
+	}
+	c432 := func(t *testing.T) *netlist.Netlist {
+		prof, ok := circuit.ProfileByName("c432")
+		if !ok {
+			t.Fatal("no c432 profile")
+		}
+		nl, err := prof.Synthesize(1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl
+	}
+	for name, load := range map[string]func(*testing.T) *netlist.Netlist{"c17": c17, "c432": c432} {
+		t.Run(name, func(t *testing.T) {
+			locked, keyPos, key, scan := testutil.PlantAuditFixture(t, load(t))
+			res, err := netlint.Run(locked, netlint.Options{Scan: scan}, netlint.All()...)
+			if err != nil {
+				t.Fatalf("audit: %v", err)
+			}
+			rep := res.Resilience
+			if rep == nil {
+				t.Fatal("no resilience report")
+			}
+			if rep.Effective != 3 || rep.Nominal != 7 {
+				t.Fatalf("effective %d of %d, want 3 of 7\n%+v", rep.Effective, rep.Nominal, rep)
+			}
+			bitOf := map[string]int{}
+			for i, pos := range keyPos {
+				bitOf[locked.Gates[locked.Inputs[pos]].Name] = i
+			}
+			const rounds, seed = 32, 99
+
+			discarded := 0
+			for _, pr := range rep.Pruned {
+				if pr.Class != netlint.ClassDiscarded {
+					continue
+				}
+				discarded++
+				bit, ok := bitOf[pr.Key]
+				if !ok {
+					t.Fatalf("pruned key %q is not a key input", pr.Key)
+				}
+				e, err := KeyBitFlipError(locked, keyPos, key, bit, rounds, seed)
+				if err != nil {
+					t.Fatalf("flip error for %s: %v", pr.Key, err)
+				}
+				if e != 0 {
+					t.Errorf("audit discarded %s but the oracle sees flip error %g — unsound prune", pr.Key, e)
+				}
+			}
+			if discarded == 0 {
+				t.Error("audit discarded no bit on the planted fixture")
+			}
+
+			for _, g := range rep.Linked {
+				if g.Kind != netlint.LinkParity || len(g.Keys) != 2 {
+					continue
+				}
+				b0, b1 := bitOf[g.Keys[0]], bitOf[g.Keys[1]]
+				joint, err := KeyFlipError(locked, keyPos, key, []int{b0, b1}, rounds, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if joint != 0 {
+					t.Errorf("parity group %v: joint flip error %g, want 0", g.Keys, joint)
+				}
+				solo, err := KeyBitFlipError(locked, keyPos, key, b0, rounds, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if solo == 0 {
+					t.Errorf("parity group %v: member %s flips with zero error — should have been discarded outright", g.Keys, g.Keys[0])
+				}
+			}
+
+			// Control: the sound bit must corrupt outputs when flipped.
+			e, err := KeyBitFlipError(locked, keyPos, key, bitOf["keyinput0"], rounds, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e == 0 {
+				t.Error("control bit keyinput0 shows zero flip error; the differential test has no teeth")
+			}
+		})
+	}
+}

@@ -1,0 +1,57 @@
+package netlint_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/netlint"
+	"repro/internal/netlist"
+	"repro/internal/testutil"
+)
+
+// FuzzResilienceAnalyzers throws lax-parsed netlists (including
+// structurally broken ones) and arbitrary audit seeds at the full
+// analyzer set. The audit must never panic or fail the driver, and —
+// since every sampled check is seeded — two runs over the same input
+// must produce byte-identical findings.
+func FuzzResilienceAnalyzers(f *testing.F) {
+	for _, seed := range testutil.BenchSeeds() {
+		f.Add(seed, int64(1))
+	}
+	f.Add("INPUT(a)\nINPUT(keyinput0)\nINPUT(keyinput1)\nOUTPUT(y)\n"+
+		"k = XOR(keyinput0, keyinput1)\nw = XOR(a, k)\ny = NOT(w)\n", int64(7))
+	f.Add("INPUT(keyinput0)\nOUTPUT(y)\nz = CONST0()\nd = AND(keyinput0, z)\ny = OR(d, z)\n", int64(3))
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		if len(src) > 1<<14 {
+			return
+		}
+		nl, _, err := netlist.ParseBenchLax("fuzz", strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if nl.NumGates() > 2000 {
+			return
+		}
+		opts := netlint.Options{
+			AuditSeed:       seed,
+			AuditRounds:     2,
+			AuditExhaustive: 8,
+			AuditMaxPairs:   16,
+		}
+		run := func() []byte {
+			res, err := netlint.Run(nl.Clone(), opts, netlint.All()...)
+			if err != nil {
+				t.Fatalf("Run failed on lax netlist: %v", err)
+			}
+			j, err := json.Marshal(res)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			return j
+		}
+		if a, b := run(), run(); string(a) != string(b) {
+			t.Fatalf("audit not deterministic for seed %d:\n%s\n%s", seed, a, b)
+		}
+	})
+}

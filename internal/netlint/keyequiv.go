@@ -1,0 +1,270 @@
+package netlint
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// KeyEquivalence proves groups of key bits equal, complementary or
+// otherwise mutually redundant by structural analysis of their fanout
+// cones, without any simulation:
+//
+//   - key bits that reach the rest of the circuit only through a
+//     single key-only gate (a cone whose transitive fanin holds
+//     nothing but key inputs and constants) are funneled: the circuit
+//     sees only that wire, so the whole group contributes at most one
+//     effective bit (Error, linked as a funnel group). For a 2-input
+//     XOR/XNOR funnel this is the classic equal-or-complementary pair;
+//     when Options.Key is supplied the diagnostic states the wire
+//     value the canonical key produces.
+//   - a key bit whose only consumer is a 2-input AND/NAND/OR/NOR gate
+//     is dominated there: the sibling fanin at its controlling value
+//     masks the bit, so a sensitization attacker can target it in
+//     isolation (Warn).
+//
+// Funnel membership is decided by a reachability cut — every path
+// from the bit to a primary output must pass the funnel gate — so the
+// proofs are structural and never downgrade the resilience report to
+// conservative.
+var KeyEquivalence = &Analyzer{
+	Name: "key-equivalence",
+	Doc:  "prove key-bit groups equal/complementary via key-only funnels; flag maskable (dominated) key bits",
+	Run:  runKeyEquivalence,
+}
+
+func runKeyEquivalence(p *Pass) error {
+	if !p.auditReady() {
+		return nil
+	}
+	keys := p.KeyInputs()
+	if len(keys) == 0 {
+		return nil
+	}
+	p.resilience()
+	nl := p.Netlist
+	order, err := nl.TopoOrder()
+	if err != nil {
+		return nil
+	}
+
+	// keyOnly: the gate's transitive fanin holds only key inputs and
+	// constants. hasKey: at least one key input is in the fanin cone.
+	keyOnly := make([]bool, len(nl.Gates))
+	hasKey := make([]bool, len(nl.Gates))
+	for _, id := range order {
+		g := &nl.Gates[id]
+		switch g.Type {
+		case netlist.Input:
+			keyOnly[id] = p.IsKeyInput(id)
+			hasKey[id] = keyOnly[id]
+		case netlist.Const0, netlist.Const1:
+			keyOnly[id] = true
+		default:
+			ok := len(g.Fanin) > 0
+			for _, f := range g.Fanin {
+				if !keyOnly[f] {
+					ok = false
+				}
+				if hasKey[f] {
+					hasKey[id] = true
+				}
+			}
+			keyOnly[id] = ok
+		}
+	}
+
+	fanouts := p.Fanouts()
+	outs := p.outputSet()
+	assigned := map[int]bool{} // key gate ID -> already in a funnel group
+	for _, id := range order {
+		if !keyOnly[id] || !hasKey[id] || nl.Gates[id].Type == netlist.Input {
+			continue
+		}
+		// Frontier gates only: the wire is visible outside key-only
+		// territory (feeds non-key-only logic or is an output itself).
+		frontier := outs[id]
+		for _, f := range fanouts[id] {
+			if !keyOnly[f] {
+				frontier = true
+				break
+			}
+		}
+		if !frontier {
+			continue
+		}
+		cone := nl.TransitiveFanin(id)
+		var group []int
+		for _, ki := range keys {
+			if assigned[ki] || !cone[ki] {
+				continue
+			}
+			if !p.keyReachesOutput(ki) {
+				continue // dead bit: key-influence reports it
+			}
+			if p.keyConfinedTo(ki, id) {
+				group = append(group, ki)
+			}
+		}
+		if len(group) < 2 {
+			continue
+		}
+		names := make([]string, len(group))
+		for i, ki := range group {
+			names[i] = nl.Gates[ki].Name
+		}
+		for _, ki := range group {
+			assigned[ki] = true
+		}
+		gname := nl.Gates[id].Name
+		p.Report(Error, id,
+			"key inputs %s reach the outputs only through key-only gate %q: the group contributes at most one effective bit%s",
+			quoteList(names), gname, funnelRelation(p, id, group))
+		p.linkKeys(names, LinkFunnel, gname, ProofStructural)
+	}
+
+	// Domination: the bit's single consumer can mute it.
+	for _, ki := range keys {
+		fo := fanouts[ki]
+		if len(fo) != 1 {
+			continue
+		}
+		g := fo[0]
+		gt := nl.Gates[g].Type
+		var ctrl int
+		switch gt {
+		case netlist.And, netlist.Nand:
+			ctrl = 0
+		case netlist.Or, netlist.Nor:
+			ctrl = 1
+		default:
+			continue
+		}
+		if keyOnly[g] || len(nl.Gates[g].Fanin) != 2 {
+			continue // key-only consumers are funnel territory
+		}
+		other := nl.Gates[g].Fanin[0]
+		if other == ki {
+			other = nl.Gates[g].Fanin[1]
+		}
+		p.Report(Warn, ki,
+			"key input %q is dominated at %s gate %q: driving %q to %d masks the bit, so a sensitization attack recovers it in isolation",
+			nl.Gates[ki].Name, gt, nl.Gates[g].Name, nl.Gates[other].Name, ctrl)
+	}
+	return nil
+}
+
+// funnelRelation refines the funnel diagnostic. For the classic
+// 2-input XOR/XNOR funnel over two key bits it names the
+// equal-or-complementary relation; with Options.Key available it
+// additionally evaluates the key-only cone under the canonical key so
+// the diagnostic states which wire value is functionally correct.
+func funnelRelation(p *Pass, id int, group []int) string {
+	nl := p.Netlist
+	g := &nl.Gates[id]
+	s := ""
+	if (g.Type == netlist.Xor || g.Type == netlist.Xnor) && len(g.Fanin) == 2 &&
+		len(group) == 2 && p.IsKeyInput(g.Fanin[0]) && p.IsKeyInput(g.Fanin[1]) {
+		s = " (only the parity of the pair matters)"
+	}
+	if len(p.Opts.Key) == 0 {
+		return s
+	}
+	v, ok := evalKeyOnly(p, id)
+	if !ok {
+		return s
+	}
+	bit := 0
+	if v {
+		bit = 1
+	}
+	return s + fmt.Sprintf("; the canonical key drives %q to %d, and any group assignment reproducing that value is functionally correct", g.Name, bit)
+}
+
+// evalKeyOnly evaluates a key-only cone under Options.Key. It fails
+// (ok=false) when a key input in the cone has no supplied value.
+func evalKeyOnly(p *Pass, root int) (val, ok bool) {
+	nl := p.Netlist
+	memo := map[int]bool{}
+	var eval func(int) (bool, bool)
+	eval = func(id int) (bool, bool) {
+		if v, done := memo[id]; done {
+			return v, true
+		}
+		g := &nl.Gates[id]
+		var v bool
+		switch g.Type {
+		case netlist.Input:
+			kv, have := p.Opts.Key[g.Name]
+			if !have {
+				return false, false
+			}
+			v = kv
+		case netlist.Const0:
+			v = false
+		case netlist.Const1:
+			v = true
+		case netlist.Not, netlist.Buf:
+			fv, fok := eval(g.Fanin[0])
+			if !fok {
+				return false, false
+			}
+			v = fv != (g.Type == netlist.Not)
+		case netlist.Mux:
+			sv, sok := eval(g.Fanin[0])
+			if !sok {
+				return false, false
+			}
+			branch := g.Fanin[1]
+			if sv {
+				branch = g.Fanin[2]
+			}
+			bv, bok := eval(branch)
+			if !bok {
+				return false, false
+			}
+			v = bv
+		case netlist.And, netlist.Nand:
+			v = true
+			for _, f := range g.Fanin {
+				fv, fok := eval(f)
+				if !fok {
+					return false, false
+				}
+				v = v && fv
+			}
+			if g.Type == netlist.Nand {
+				v = !v
+			}
+		case netlist.Or, netlist.Nor:
+			v = false
+			for _, f := range g.Fanin {
+				fv, fok := eval(f)
+				if !fok {
+					return false, false
+				}
+				v = v || fv
+			}
+			if g.Type == netlist.Nor {
+				v = !v
+			}
+		case netlist.Xor, netlist.Xnor:
+			v = false
+			for _, f := range g.Fanin {
+				fv, fok := eval(f)
+				if !fok {
+					return false, false
+				}
+				v = v != fv
+			}
+			if g.Type == netlist.Xnor {
+				v = !v
+			}
+		default:
+			return false, false
+		}
+		memo[id] = v
+		return v, true
+	}
+	return eval(root)
+}

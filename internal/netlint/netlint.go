@@ -15,9 +15,17 @@
 // locking is applied naively; the key-influence analyzer therefore
 // reports effective vs. nominal key length.
 //
+// Beyond hygiene, the package carries an oracle-less security audit
+// layer (the Audit set): key-cofactor constant propagation,
+// key-equivalence funnels, removal-vulnerability signatures and
+// scan-exposure checks that together compute the effective key length
+// an oracle-less attacker faces, reported as a ResilienceReport with
+// per-finding proof strength. See DESIGN.md §10 for the metric's
+// definition and its cross-validation against the oracle attacks.
+//
 // The framework is extensible: define an Analyzer, report through
 // Pass.Report, and pass it to Run alongside (or instead of) the
-// built-in set returned by All.
+// built-in sets returned by Hygiene, Audit and All.
 package netlint
 
 import (
@@ -109,15 +117,16 @@ type Analyzer struct {
 // its cells in shift order. KeyChain marks the paper's secure
 // configuration chain, whose cells must all be key inputs.
 type ScanChainSpec struct {
-	Name     string
-	Width    int
-	Cells    []string
-	KeyChain bool
+	Name     string   `json:"name"`
+	Width    int      `json:"width"`
+	Cells    []string `json:"cells"`
+	KeyChain bool     `json:"key_chain,omitempty"`
 }
 
-// ScanSpec is the full scan configuration checked against the netlist.
+// ScanSpec is the full scan configuration checked against the
+// netlist. Its JSON form is the cmd/netlint -scan file format.
 type ScanSpec struct {
-	Chains []ScanChainSpec
+	Chains []ScanChainSpec `json:"chains"`
 }
 
 // Options configures a driver run.
@@ -130,8 +139,24 @@ type Options struct {
 	// without it that analyzer is silent.
 	Key map[string]bool
 	// Scan optionally supplies scan-chain declarations for the
-	// scan-integrity analyzer; without it that analyzer is silent.
+	// scan-integrity and scan-exposure analyzers; without it both are
+	// silent.
 	Scan *ScanSpec
+
+	// AuditSeed seeds the sampled checks of the resilience audit
+	// analyzers. Zero means 1, so the default is deterministic.
+	AuditSeed int64
+	// AuditRounds is the number of 64-pattern random rounds for
+	// sampled audit checks. Zero or negative means 8.
+	AuditRounds int
+	// AuditExhaustive is the input-count ceiling up to which audit
+	// equivalence checks enumerate every pattern (an exact proof)
+	// instead of sampling. Zero or negative means 16; capped at 24.
+	AuditExhaustive int
+	// AuditMaxPairs caps the key-bit pair sweep of key-const-prop.
+	// Zero or negative means 512. Hitting the cap marks the
+	// resilience report conservative.
+	AuditMaxPairs int
 }
 
 func (o Options) keyPrefix() string {
@@ -154,6 +179,18 @@ type Pass struct {
 
 	fanouts  [][]int
 	inputSet map[int]bool
+
+	// Resilience-audit state, shared across the audit analyzers.
+	resilienceRep *ResilienceReport
+	auditCapped   bool
+	// auditSampled is set whenever a sampled equivalence check came
+	// back "no counterexample found" — an inconclusive verdict that is
+	// reported as a warning but never pruned, and that downgrades the
+	// resilience report from exact to conservative.
+	auditSampled bool
+	auditTopoOK  *bool
+	inputPos     map[int]int
+	outputIDs    map[int]bool
 }
 
 // Report records a diagnostic anchored at gate id (pass -1 for
@@ -237,10 +274,11 @@ type KeyReport struct {
 
 // Result aggregates one driver run over one netlist.
 type Result struct {
-	Netlist     string       `json:"netlist"`
-	Analyzers   []string     `json:"analyzers"`
-	Diagnostics []Diagnostic `json:"diagnostics"`
-	KeyReport   *KeyReport   `json:"key_report,omitempty"`
+	Netlist     string            `json:"netlist"`
+	Analyzers   []string          `json:"analyzers"`
+	Diagnostics []Diagnostic      `json:"diagnostics"`
+	KeyReport   *KeyReport        `json:"key_report,omitempty"`
+	Resilience  *ResilienceReport `json:"resilience,omitempty"`
 }
 
 // Count returns the number of diagnostics at exactly the given
@@ -282,11 +320,33 @@ func (r *Result) WriteText(w io.Writer) error {
 	return err
 }
 
-// All returns the built-in analyzers, sorted by name.
-func All() []*Analyzer {
+// Hygiene returns the structural-hygiene analyzers: cheap graph
+// checks every netlist must pass before it is emitted or attacked.
+// This is the default set Run uses when no analyzers are given, and
+// the set the locker's emit gate runs.
+func Hygiene() []*Analyzer {
 	return []*Analyzer{
 		CombCycle, ConstLUT, DeadGate, KeyInfluence, ScanIntegrity, Undriven,
 	}
+}
+
+// Audit returns the oracle-less resilience audit analyzers. They
+// simulate and constant-fold key cofactors, so they cost orders of
+// magnitude more than the hygiene set and are run as a dedicated
+// audit stage (cmd/netlint, the ci.sh audit gate, report tables)
+// rather than on every emit.
+func Audit() []*Analyzer {
+	return []*Analyzer{
+		KeyConstProp, KeyEquivalence, RemovalVulnerability, ScanExposure,
+	}
+}
+
+// All returns every built-in analyzer — hygiene and audit — sorted by
+// name.
+func All() []*Analyzer {
+	as := append(Hygiene(), Audit()...)
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
 }
 
 // ByName resolves analyzer names against the built-in set.
@@ -306,23 +366,35 @@ func ByName(names ...string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run executes the analyzers (all built-ins when none are given) over
-// the netlist and returns the aggregated, deterministically sorted
-// result. Diagnostics are ordered by (analyzer, gate ID, message) so
-// output is stable across runs and map-iteration order.
+// Run executes the analyzers (the hygiene set when none are given)
+// over the netlist and returns the aggregated, deterministically
+// sorted result. Diagnostics are ordered by (analyzer, gate ID,
+// message) so output is stable across runs and map-iteration order,
+// and each distinct (analyzer, gate, message) finding is reported
+// once even when an analyzer is registered twice — e.g. via both the
+// default set and an explicit list. When any audit analyzer ran
+// against key inputs, Result.Resilience carries the finalized
+// effective-key-length report and a headline diagnostic is emitted
+// under the synthetic analyzer name "resilience".
 func Run(nl *netlist.Netlist, opts Options, analyzers ...*Analyzer) (*Result, error) {
 	if len(analyzers) == 0 {
-		analyzers = All()
+		analyzers = Hygiene()
 	}
 	pass := &Pass{Netlist: nl, Opts: opts}
 	res := &Result{Netlist: nl.Name}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
+		if ran[a.Name] {
+			continue // double registration: run and report once
+		}
+		ran[a.Name] = true
 		pass.analyzer = a.Name
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("netlint: analyzer %s: %w", a.Name, err)
 		}
 		res.Analyzers = append(res.Analyzers, a.Name)
 	}
+	res.Resilience = pass.finalizeResilience()
 	sort.SliceStable(pass.diags, func(i, j int) bool {
 		a, b := pass.diags[i], pass.diags[j]
 		if a.Analyzer != b.Analyzer {
@@ -334,9 +406,26 @@ func Run(nl *netlist.Netlist, opts Options, analyzers ...*Analyzer) (*Result, er
 		return a.Message < b.Message
 	})
 	sort.Strings(res.Analyzers)
-	res.Diagnostics = pass.diags
+	res.Diagnostics = dedupeDiags(pass.diags)
 	res.KeyReport = pass.keyReport
 	return res, nil
+}
+
+// dedupeDiags drops adjacent duplicates of the (analyzer, gate,
+// message) finding identity from a sorted diagnostic list, keeping
+// the first (and with it the severity it carried).
+func dedupeDiags(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if len(out) > 0 {
+			prev := out[len(out)-1]
+			if d.Analyzer == prev.Analyzer && d.GateID == prev.GateID && d.Message == prev.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // Check runs the analyzers and returns only the Error-level

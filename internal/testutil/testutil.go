@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/netlint"
 	"repro/internal/netlist"
 )
 
@@ -88,6 +89,74 @@ func XORLock(tb testing.TB, orig *netlist.Netlist, nKeys int, seed int64) (*netl
 		tb.Fatal(err)
 	}
 	return nl, keyPos, key
+}
+
+// PlantAuditFixture locks orig with seven key bits of which only
+// three survive the oracle-less resilience audit: keyinput0 is a
+// sound XOR lock; keyinput1 is forced irrelevant through an AND with
+// a constant; keyinput2/keyinput3 are series XORs on one wire and
+// keyinput4/keyinput5 funnel through a key-only XOR, so each pair
+// collapses to its parity; keyinput6 is sound logic but sits as a
+// cell on the functional scan chain of the returned ScanSpec. The
+// canonical key is all-zero (every mix is a plain XOR). Lock sites
+// are the primary outputs followed by the earliest logic gates, so
+// the construction is deterministic; orig needs at least five
+// distinct sites.
+func PlantAuditFixture(tb testing.TB, orig *netlist.Netlist) (*netlist.Netlist, []int, []bool, *netlint.ScanSpec) {
+	tb.Helper()
+	nl := orig.Clone()
+	seen := map[int]bool{}
+	var sites []int
+	for _, o := range nl.Outputs {
+		if !seen[o] {
+			seen[o] = true
+			sites = append(sites, o)
+		}
+	}
+	for id := 0; id < len(nl.Gates) && len(sites) < 5; id++ {
+		if nl.Gates[id].Type != netlist.Input && !seen[id] {
+			seen[id] = true
+			sites = append(sites, id)
+		}
+	}
+	if len(sites) < 5 {
+		tb.Fatalf("testutil: %q has %d lock sites, PlantAuditFixture needs 5", nl.Name, len(sites))
+	}
+	var keyPos []int
+	addKey := func(i int) int {
+		keyPos = append(keyPos, len(nl.Inputs))
+		return nl.AddInput(fmt.Sprintf("keyinput%d", i))
+	}
+	mix := func(site, signal int, name string) int {
+		g := nl.AddGate(name, netlist.Xor, site, signal)
+		nl.RedirectFanout(site, g)
+		return g
+	}
+	k0 := addKey(0)
+	mix(sites[0], k0, "auditg0")
+	k1 := addKey(1)
+	zero := nl.AddGate("auditzero", netlist.Const0)
+	dead := nl.AddGate("auditdead1", netlist.And, k1, zero)
+	mix(sites[1], dead, "auditg1")
+	k2 := addKey(2)
+	k3 := addKey(3)
+	g2 := mix(sites[2], k2, "auditg2")
+	mix(g2, k3, "auditg3")
+	k4 := addKey(4)
+	k5 := addKey(5)
+	funnel := nl.AddGate("auditkk45", netlist.Xor, k4, k5)
+	mix(sites[3], funnel, "auditg45")
+	k6 := addKey(6)
+	mix(sites[4], k6, "auditg6")
+	if err := nl.Validate(); err != nil {
+		tb.Fatalf("testutil: audit fixture: %v", err)
+	}
+	scan := &netlint.ScanSpec{Chains: []netlint.ScanChainSpec{{
+		Name:  "func0",
+		Width: 2,
+		Cells: []string{nl.Gates[sites[4]].Name, "keyinput6"},
+	}}}
+	return nl, keyPos, make([]bool, 7), scan
 }
 
 // BenchSeeds returns the shared seed corpus for the .bench parser fuzz
