@@ -3,12 +3,15 @@
 #
 #   ./ci.sh
 #
-# Steps: formatting, vet plus the repo-local Go lint (cmd/repolint —
-# no math/rand global source in non-test code), build, tests under the
-# race detector, a doubled -race pass over the sweep runner
+# Steps: formatting, vet plus the repo-local Go lint suite (cmd/rilvet
+# — determinism, durability and concurrency invariants over the repo's
+# own Go source, with a SARIF artifact, a self-lint check and a
+# deliberately-broken fixture proving the gate bites), build, tests
+# under the race detector, a doubled -race pass over the sweep runner
 # (scheduling-sensitive), a coverage gate on the checkpoint-bearing
 # packages, a benchmark smoke that also emits BENCH_6.json, a fuzz
-# smoke stage (10s per parser/journal/audit target), the netlint gate
+# smoke stage (10s per parser/journal/audit/suppression target), the
+# netlint gate
 # — every checked-in .bench benchmark and a freshly locked circuit
 # must pass the full analyzer set including the resilience audit,
 # deliberately broken netlists (combinational cycle, dead key bit)
@@ -30,8 +33,31 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== repolint (no math/rand global source in non-test code) =="
-go run ./cmd/repolint ./...
+echo "== rilvet (Go-code determinism/durability/concurrency invariants) =="
+# Zero unsuppressed findings across the repo; the SARIF log is the
+# machine-readable artifact of the run.
+go run ./cmd/rilvet -sarif rilvet.sarif ./...
+[ -s rilvet.sarif ] || { echo "ci: rilvet.sarif is empty" >&2; exit 1; }
+echo "ci: wrote rilvet.sarif"
+
+echo "== rilvet: lints itself =="
+go run ./cmd/rilvet internal/golint cmd/rilvet cmd/repolint
+
+echo "== rilvet: deprecated repolint alias still answers =="
+go run ./cmd/repolint internal/golint/testdata/src/clean
+
+echo "== rilvet: the gate bites on a known-bad fixture =="
+if go run ./cmd/rilvet internal/golint/testdata/src/rand-global > rilvet_fixture.out 2>&1; then
+    echo "ci: rilvet passed the deliberately broken fixture" >&2
+    cat rilvet_fixture.out >&2
+    exit 1
+fi
+grep -q 'rand-global' rilvet_fixture.out || {
+    echo "ci: fixture failure not attributed to rand-global:" >&2
+    cat rilvet_fixture.out >&2
+    exit 1
+}
+rm -f rilvet_fixture.out
 
 echo "== go build =="
 go build ./...
@@ -80,6 +106,7 @@ for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do
 done
 go test ./internal/attack/ -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=10s
 go test ./internal/netlint/ -run='^$' -fuzz='^FuzzResilienceAnalyzers$' -fuzztime=10s
+go test ./internal/golint/ -run='^$' -fuzz='^FuzzSuppressionParse$' -fuzztime=10s
 
 echo "== netlint: checked-in benchmarks =="
 go run ./cmd/netlint testdata/...

@@ -44,13 +44,13 @@ func main() {
 		os.Exit(1)
 	}
 	w := os.Stdout
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchgen:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = f
 	}
 	switch *format {
@@ -60,6 +60,9 @@ func main() {
 		err = nl.WriteVerilog(w)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err == nil && f != nil {
+		err = f.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgen:", err)

@@ -80,25 +80,30 @@ func main() {
 	}
 
 	w := os.Stdout
+	var of *os.File
 	if *out != "" {
-		of, err := os.Create(*out)
+		of, err = os.Create(*out)
 		if err != nil {
 			fail(err)
 		}
-		defer of.Close()
 		w = of
 	}
 	if err := locked.WriteBench(w); err != nil {
 		fail(err)
 	}
+	if of != nil {
+		if err := of.Close(); err != nil {
+			fail(err)
+		}
+	}
 
 	kw := os.Stderr
+	var kf *os.File
 	if *keyout != "" {
-		kf, err := os.Create(*keyout)
+		kf, err = os.Create(*keyout)
 		if err != nil {
 			fail(err)
 		}
-		defer kf.Close()
 		kw = kf
 	}
 	bw := bufio.NewWriter(kw)
@@ -110,7 +115,14 @@ func main() {
 		}
 		fmt.Fprintf(bw, "%s=%d\n", name, bit)
 	}
-	bw.Flush()
+	if err := bw.Flush(); err != nil {
+		fail(err)
+	}
+	if kf != nil {
+		if err := kf.Close(); err != nil {
+			fail(err)
+		}
+	}
 	if extra != "" {
 		fmt.Fprintln(os.Stderr, extra)
 	}

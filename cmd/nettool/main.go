@@ -96,12 +96,12 @@ func main() {
 
 	if *out != "" || (!*stats && *equiv == "") {
 		w := os.Stdout
+		var f *os.File
 		if *out != "" {
-			f, err := os.Create(*out)
+			f, err = os.Create(*out)
 			if err != nil {
 				fail(err)
 			}
-			defer f.Close()
 			w = f
 		}
 		switch *format {
@@ -111,6 +111,9 @@ func main() {
 			err = nl.WriteVerilog(w)
 		default:
 			err = fmt.Errorf("unknown format %q", *format)
+		}
+		if err == nil && f != nil {
+			err = f.Close()
 		}
 		if err != nil {
 			fail(err)

@@ -1,215 +1,19 @@
-// Command repolint enforces repo-local Go hygiene rules that go vet
-// does not cover. Its single rule today: non-test code must not draw
-// randomness from the math/rand (or math/rand/v2) global source —
-// every consumer must construct an explicit seeded generator
-// (rand.New(rand.NewSource(seed))) so that simulations, attacks and
-// fuzz reproductions are replayable from a logged seed. Calls like
-// rand.Intn, rand.Uint64 or rand.Seed on the package itself are
-// findings; constructing sources and generators (rand.New,
-// rand.NewSource, rand.NewPCG, ...) and referring to the package's
-// types (rand.Rand, rand.Source) are not. _test.go files and testdata
-// directories are exempt.
+// Command repolint is the deprecated name of cmd/rilvet. It began as
+// a single-rule linter (no math/rand global source in non-test code);
+// that rule now lives in internal/golint as the rand-global analyzer,
+// first of the rilvet suite, and this command is a thin alias kept so
+// existing ci.sh invocations and docs stay valid.
 //
-// repolint is built on the standard library go/parser and go/ast only
-// — it must keep working in the dependency-free build environment, so
-// golang.org/x/tools is off limits.
-//
-// Usage:
-//
-//	repolint <path ...>
-//
-// Each path may be a .go file, a directory, or a Go-style dir/...
-// pattern (directories are always walked recursively; testdata,
-// vendor and hidden directories are skipped).
-//
-// Exit status: 0 clean, 1 findings, 2 on usage, I/O or parse failure.
+// Deprecated: use cmd/rilvet. The flags, paths and exit-code contract
+// are identical (0 clean, 1 findings, 2 usage/I-O/parse failure).
 package main
 
 import (
-	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"io"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
+
+	"repro/internal/golint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
-}
-
-func run(args []string, stdout, stderr io.Writer) int {
-	if len(args) == 0 {
-		fmt.Fprintln(stderr, "repolint: no input paths (try: repolint ./...)")
-		return 2
-	}
-	files, err := expandPaths(args)
-	if err != nil {
-		fmt.Fprintln(stderr, "repolint:", err)
-		return 2
-	}
-	fset := token.NewFileSet()
-	failed := false
-	for _, path := range files {
-		findings, err := lintFile(fset, path)
-		if err != nil {
-			fmt.Fprintln(stderr, "repolint:", err)
-			return 2
-		}
-		for _, f := range findings {
-			fmt.Fprintln(stdout, f)
-			failed = true
-		}
-	}
-	if failed {
-		return 1
-	}
-	return 0
-}
-
-// allowedRandSelector lists the math/rand and math/rand/v2 package
-// members that do NOT touch the global source: constructors for
-// explicit generators and the package's type names.
-var allowedRandSelector = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"Source":    true,
-	"Source64":  true,
-	"Rand":      true,
-	"Zipf":      true,
-	// math/rand/v2 additions.
-	"NewPCG":     true,
-	"NewChaCha8": true,
-	"PCG":        true,
-	"ChaCha8":    true,
-}
-
-func isMathRand(importPath string) bool {
-	return importPath == "math/rand" || importPath == "math/rand/v2"
-}
-
-// lintFile reports every use of the math/rand global source in a
-// non-test Go file. Test files are skipped by name, so callers can
-// point repolint at whole directories.
-func lintFile(fset *token.FileSet, path string) ([]string, error) {
-	if strings.HasSuffix(path, "_test.go") {
-		return nil, nil
-	}
-	src, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
-	if err != nil {
-		return nil, err
-	}
-
-	// Map the local names the file binds math/rand to. A dot import
-	// makes global-source calls indistinguishable from local calls, so
-	// it is a finding in itself; a blank import pulls in no names.
-	randNames := map[string]string{}
-	var findings []string
-	report := func(pos token.Pos, format string, args ...any) {
-		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
-	}
-	for _, imp := range file.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || !isMathRand(p) {
-			continue
-		}
-		name := p[strings.LastIndex(p, "/")+1:]
-		if name == "v2" {
-			name = "rand"
-		}
-		if imp.Name != nil {
-			name = imp.Name.Name
-		}
-		switch name {
-		case "_":
-			continue
-		case ".":
-			report(imp.Pos(), "dot import of %s hides global-source calls from review; import it by name and use an explicit seeded source", p)
-			continue
-		}
-		randNames[name] = p
-	}
-	if len(randNames) == 0 {
-		return findings, nil
-	}
-
-	ast.Inspect(file, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		ident, ok := sel.X.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		p, ok := randNames[ident.Name]
-		if !ok || allowedRandSelector[sel.Sel.Name] {
-			return true
-		}
-		report(sel.Pos(), "%s.%s uses the %s global source; construct an explicit seeded generator instead (rand.New(rand.NewSource(seed)))",
-			ident.Name, sel.Sel.Name, p)
-		return true
-	})
-	return findings, nil
-}
-
-// expandPaths resolves files, directories and Go-style dir/...
-// patterns into a sorted list of .go files, skipping testdata, vendor
-// and hidden directories.
-func expandPaths(args []string) ([]string, error) {
-	seen := map[string]bool{}
-	var files []string
-	add := func(p string) {
-		if !seen[p] {
-			seen[p] = true
-			files = append(files, p)
-		}
-	}
-	for _, arg := range args {
-		root := strings.TrimSuffix(arg, "...")
-		root = strings.TrimSuffix(root, string(filepath.Separator))
-		if root == "" {
-			root = "."
-		}
-		info, err := os.Stat(root)
-		if err != nil {
-			return nil, err
-		}
-		if !info.IsDir() {
-			add(root)
-			continue
-		}
-		err = filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				name := d.Name()
-				if p != root && (name == "testdata" || name == "vendor" ||
-					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if strings.HasSuffix(p, ".go") {
-				add(p)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(files)
-	return files, nil
+	os.Exit(golint.Main(os.Args[1:], os.Stdout, os.Stderr))
 }

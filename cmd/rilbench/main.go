@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -86,8 +87,10 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			if err := t.WriteCSV(f); err != nil {
+				return errors.Join(err, f.Close())
+			}
+			if err := f.Close(); err != nil {
 				return err
 			}
 			fmt.Fprintln(os.Stderr, "rilbench: wrote", name)
@@ -98,10 +101,12 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			enc := json.NewEncoder(f)
 			enc.SetIndent("", "  ")
 			if err := enc.Encode(t); err != nil {
+				return errors.Join(err, f.Close())
+			}
+			if err := f.Close(); err != nil {
 				return err
 			}
 			fmt.Fprintln(os.Stderr, "rilbench: wrote", name)

@@ -204,7 +204,7 @@ func jobJournalPath(ckpt *sweep.Checkpoint, name string) string {
 // resume additionally replays an existing journal first.
 func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 	timeout time.Duration, appsat, bva bool, trace *os.File,
-	journalPath string, resume bool) (*targetResult, error) {
+	journalPath string, resume bool) (tr *targetResult, err error) {
 	f, err := os.Open(lockedPath)
 	if err != nil {
 		return nil, err
@@ -231,7 +231,7 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 		return nil, err
 	}
 
-	tr := &targetResult{Target: lockedPath, KeyBits: len(keyPos)}
+	tr = &targetResult{Target: lockedPath, KeyBits: len(keyPos)}
 	var status attack.Status
 	var recovered []bool
 	if appsat {
@@ -253,7 +253,9 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 			if err != nil {
 				return nil, err
 			}
-			defer j.Close()
+			// The journal fsyncs per record; a failed close is the last
+			// chance to observe lost appended DIPs, so join it into err.
+			defer func() { err = errors.Join(err, j.Close()) }()
 			opts.Journal = j
 			opts.Resume = data
 		}
@@ -266,7 +268,7 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 			if jerr != nil {
 				return nil, jerr
 			}
-			defer j.Close()
+			defer func() { err = errors.Join(err, j.Close()) }()
 			opts.Journal, opts.Resume = j, nil
 			res, err = attack.SATAttack(locked, keyPos, oracle, opts)
 		}
@@ -353,11 +355,13 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
 		if err != nil {
 			fail(err)
 		}
-		defer trace.Close()
 	}
 	start := time.Now()
 	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, appsat, bva, trace,
 		jobJournalPath(ckpt, lockedPath), resume)
+	if trace != nil {
+		err = errors.Join(err, trace.Close())
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -386,9 +390,11 @@ func writeJSON(path string, results []sweep.Result) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	fmt.Fprintln(os.Stderr, "satattack: writing", path)
-	return sweep.WriteJSON(f, results)
+	if err := sweep.WriteJSON(f, results); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
 }
 
 func splitList(s string) []string {

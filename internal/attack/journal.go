@@ -252,6 +252,7 @@ func ReadJournal(r io.Reader) (*JournalData, error) {
 	var offset int64
 	lineNo := 0
 	var pendingErr error // error on some line; fatal only if more content follows
+	//rilvet:ignore ctx-loop advances one input line per pass and terminates at EOF, so it is bounded by journal size, not by solver progress
 	for {
 		line, readErr := br.ReadString('\n')
 		if line == "" && readErr != nil {
@@ -404,26 +405,22 @@ func OpenJournal(path string) (*Journal, *JournalData, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, f.Close())
 	}
 	if st.Size() == 0 {
 		return &Journal{w: f}, nil, nil
 	}
 	data, err := ReadJournal(f)
 	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, errors.Join(fmt.Errorf("%s: %w", path, err), f.Close())
 	}
 	if data.Truncated {
 		if err := f.Truncate(data.validBytes); err != nil {
-			f.Close()
-			return nil, nil, err
+			return nil, nil, errors.Join(err, f.Close())
 		}
 	}
 	if _, err := f.Seek(data.validBytes, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
+		return nil, nil, errors.Join(err, f.Close())
 	}
 	return &Journal{w: f, headerDone: true}, data, nil
 }

@@ -1,0 +1,165 @@
+package golint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := Main(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCLIExitCodeContract(t *testing.T) {
+	clean := filepath.Join("testdata", "src", "clean")
+	bad := filepath.Join("testdata", "src", "rand-global")
+
+	if code, _, _ := runCLI(t, clean); code != 0 {
+		t.Errorf("clean package: exit %d, want 0", code)
+	}
+	if code, out, _ := runCLI(t, bad); code != 1 {
+		t.Errorf("package with findings: exit %d, want 1\n%s", code, out)
+	}
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no paths: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, filepath.Join("testdata", "no-such-dir")); code != 2 {
+		t.Errorf("missing path: exit %d, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, "-analyzers", "nope", clean); code != 2 ||
+		!strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("unknown analyzer: exit %d stderr %q, want 2", code, stderr)
+	}
+	if code, _, _ := runCLI(t, "-disable", "nope", clean); code != 2 {
+		t.Errorf("disabling unknown analyzer: exit %d, want 2", code)
+	}
+
+	var all []string
+	for _, a := range All() {
+		all = append(all, a.Name)
+	}
+	if code, _, _ := runCLI(t, "-disable", strings.Join(all, ","), clean); code != 2 {
+		t.Errorf("everything disabled: exit %d, want 2", code)
+	}
+
+	// A syntactically broken file is an exit-2 parse failure, not a
+	// finding.
+	broken := t.TempDir()
+	if err := os.WriteFile(filepath.Join(broken, "broken.go"), []byte("package {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, broken); code != 2 {
+		t.Errorf("parse failure: exit %d, want 2", code)
+	}
+}
+
+func TestCLIDisableTurnsFindingsOff(t *testing.T) {
+	bad := filepath.Join("testdata", "src", "rand-global")
+	if code, _, _ := runCLI(t, "-disable", "rand-global", bad); code != 0 {
+		t.Errorf("with the only firing analyzer disabled: exit %d, want 0", code)
+	}
+	if code, _, _ := runCLI(t, "-analyzers", "sync-errcheck", bad); code != 0 {
+		t.Errorf("with a non-firing analyzer selected: exit %d, want 0", code)
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list: exit %d, want 0", code)
+	}
+	for _, a := range All() {
+		if !strings.Contains(out, a.Name) {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+func TestCLIJSON(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", filepath.Join("testdata", "src", "rand-global"))
+	if code != 1 {
+		t.Fatalf("-json over findings: exit %d, want 1", code)
+	}
+	var results []Result
+	if err := json.Unmarshal([]byte(out), &results); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, out)
+	}
+	if len(results) != 1 || len(results[0].Findings) == 0 {
+		t.Fatalf("-json output has no findings: %s", out)
+	}
+	for _, f := range results[0].Findings {
+		if f.Rule == "" || f.File == "" || f.Line == 0 {
+			t.Errorf("finding not keyed by rule/file/line: %+v", f)
+		}
+	}
+}
+
+func TestCLISARIF(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	code, _, _ := runCLI(t, "-sarif", path, filepath.Join("testdata", "src", "suppress"))
+	if code != 1 {
+		t.Fatalf("-sarif over findings: exit %d, want 1", code)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID       string `json:"ruleId"`
+				Suppressions []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output does not parse: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "rilvet" || len(run.Tool.Driver.Rules) == 0 {
+		t.Errorf("SARIF driver metadata incomplete: %+v", run.Tool.Driver)
+	}
+	var suppressedResults int
+	for _, r := range run.Results {
+		if r.RuleID == "" {
+			t.Errorf("SARIF result without ruleId")
+		}
+		for _, s := range r.Suppressions {
+			if s.Kind != "inSource" {
+				t.Errorf("SARIF suppression kind = %q, want inSource", s.Kind)
+			}
+			suppressedResults++
+		}
+	}
+	if len(run.Results) == 0 || suppressedResults == 0 {
+		t.Errorf("SARIF results missing (total=%d suppressed=%d)", len(run.Results), suppressedResults)
+	}
+}
+
+// TestSelfLint runs rilvet over its own package: the linter must hold
+// itself to the invariants it enforces on the rest of the repo.
+func TestSelfLint(t *testing.T) {
+	code, out, errout := runCLI(t, ".")
+	if code != 0 {
+		t.Fatalf("rilvet is not self-clean: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, errout)
+	}
+}

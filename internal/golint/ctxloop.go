@@ -1,0 +1,118 @@
+package golint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxLoop requires exported functions containing unbounded loops
+// (`for {`, or `for true {`) to be cancellable: either the function
+// takes a context.Context parameter, or it observably consults one —
+// ctx.Err()/ctx.Done() checks, or threading a context-typed value
+// into a callee (the solver's SetContext/abort-poll pattern counts).
+// The DIP iteration and the sweep drain are exactly such loops; a
+// long-running daemon cannot afford an entry point that spins until
+// the solver feels like converging with no way to call it back.
+// Unexported functions are not checked — internal helpers inherit
+// cancellation from their exported callers.
+var CtxLoop = &Analyzer{
+	Name: "ctx-loop",
+	Doc:  "require exported functions with unbounded loops to be cancellable via context",
+	Run:  runCtxLoop,
+}
+
+func runCtxLoop(p *Pass) error {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			loopPos := firstUnboundedLoop(fn.Body)
+			if loopPos == token.NoPos {
+				continue
+			}
+			if referencesContext(p, fn) {
+				continue
+			}
+			p.Report(loopPos,
+				"exported %s contains an unbounded loop but neither accepts a context.Context nor consults one; long-running work must be cancellable",
+				fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// firstUnboundedLoop returns the position of the first `for {` or
+// `for true {` loop in the body (including nested blocks, excluding
+// nested function literals), or NoPos.
+func firstUnboundedLoop(body *ast.BlockStmt) token.Pos {
+	pos := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos != token.NoPos {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok {
+			return true
+		}
+		if loop.Cond == nil {
+			pos = loop.For
+			return false
+		}
+		if ident, ok := loop.Cond.(*ast.Ident); ok && ident.Name == "true" {
+			pos = loop.For
+			return false
+		}
+		return true
+	})
+	return pos
+}
+
+// referencesContext reports whether fn takes a context.Context
+// parameter or lexically uses any context-typed expression
+// (identifier, field selector, or call argument) — evidence that the
+// function participates in a cancellation scheme.
+func referencesContext(p *Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if isContextType(p.TypeOf(field.Type)) || isContextTypeExpr(field.Type) {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isContextType(p.TypeOf(expr)) || isContextTypeExpr(expr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextTypeExpr is the syntactic fallback when type information
+// is unavailable: the literal selector context.Context, or an
+// identifier named ctx.
+func isContextTypeExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.SelectorExpr:
+		if pkg, ok := v.X.(*ast.Ident); ok {
+			return pkg.Name == "context" && v.Sel.Name == "Context"
+		}
+	case *ast.Ident:
+		return v.Name == "ctx"
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package golint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSuppressionParse asserts the suppression grammar's invariants
+// over arbitrary comment text: the parser never panics, err implies
+// ok (only a recognized suppression can be malformed), and a
+// successful parse always yields at least one non-empty rule and a
+// trimmed non-empty reason.
+func FuzzSuppressionParse(f *testing.F) {
+	for _, seed := range []string{
+		"rilvet:ignore rand-global deliberate demo seed",
+		"rilvet:ignore map-order,ctx-loop two rules one reason",
+		"rilvet:ignore rand-global",
+		"rilvet:ignore",
+		"rilvet:ignore  \t ",
+		"  rilvet:ignore sync-errcheck trailing spaces  ",
+		"rilvet:ignoreX not a suppression",
+		"rilvet:ignore ,, empty names",
+		"just a comment",
+		"",
+		"rilvet:ignore \x00 weird bytes",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s, ok, err := ParseSuppression(text)
+		if err != nil && !ok {
+			t.Fatalf("err without ok for %q: %v", text, err)
+		}
+		if !ok || err != nil {
+			if len(s.Rules) != 0 || s.Reason != "" {
+				t.Fatalf("failed parse of %q leaked a partial result: %+v", text, s)
+			}
+			return
+		}
+		if len(s.Rules) == 0 {
+			t.Fatalf("ok parse of %q yielded no rules", text)
+		}
+		for _, r := range s.Rules {
+			if r == "" || strings.ContainsAny(r, " \t\n") {
+				t.Fatalf("ok parse of %q yielded malformed rule %q", text, r)
+			}
+		}
+		if s.Reason == "" || s.Reason != strings.TrimSpace(s.Reason) {
+			t.Fatalf("ok parse of %q yielded untrimmed/empty reason %q", text, s.Reason)
+		}
+	})
+}

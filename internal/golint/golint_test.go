@@ -1,0 +1,292 @@
+package golint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture harness follows the analysistest convention: a fixture
+// line carries a `// want "substr" ["substr" ...]` comment naming one
+// expected finding per quoted substring, matched against the finding
+// messages reported on that line. Every finding must be wanted and
+// every want must be found.
+
+var wantQuoted = regexp.MustCompile(`"([^"]*)"`)
+
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// parseWants extracts the // want expectations from every .go file in
+// a fixture directory.
+func parseWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(raw), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			matches := wantQuoted.FindAllStringSubmatch(line[idx:], -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: // want marker with no quoted expectation", path, i+1)
+			}
+			for _, m := range matches {
+				wants = append(wants, &expectation{file: path, line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants
+}
+
+// loadFixture loads one fixture package, failing the test on parse or
+// type-check errors — fixtures must stay compile-valid so the
+// analyzers exercise their typed paths.
+func loadFixture(t *testing.T, dir string, opts Options) *Package {
+	t.Helper()
+	pkg, err := NewLoader(opts).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	if pkg.TypesErr != nil {
+		t.Fatalf("fixture %s does not type-check: %v", dir, pkg.TypesErr)
+	}
+	return pkg
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		rule     string
+		analyzer *Analyzer
+		opts     Options
+	}{
+		{"rand-global", RandGlobal, Options{}},
+		{"map-order", MapOrder, Options{}},
+		// The fixture path stands in for the determinism-critical
+		// package set, exercising the Options override.
+		{"time-seed", TimeSeed, Options{DeterminismPkgs: []string{"time-seed"}}},
+		{"sync-errcheck", SyncErrcheck, Options{DurableTypes: []string{"sync-errcheck.Journal"}}},
+		{"ctx-loop", CtxLoop, Options{}},
+		{"goroutine-hygiene", GoroutineHygiene, Options{}},
+		{"mutex-oracle", MutexOracle, Options{}},
+	}
+	for _, c := range cases {
+		t.Run(c.rule, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", c.rule)
+			pkg := loadFixture(t, dir, c.opts)
+			res, err := Run(pkg, c.opts, c.analyzer)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			wants := parseWants(t, dir)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s declares no expectations", dir)
+			}
+			for _, f := range res.Findings {
+				if f.Rule != c.rule {
+					t.Errorf("unexpected rule %q from analyzer %q: %s", f.Rule, c.rule, f)
+					continue
+				}
+				matched := false
+				for _, w := range wants {
+					if !w.matched && w.file == f.File && w.line == f.Line &&
+						strings.Contains(f.Message, w.substr) {
+						w.matched, matched = true, true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected finding containing %q, got none", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+func TestSuppressions(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "suppress")
+	opts := Options{}
+	pkg := loadFixture(t, dir, opts)
+	res, err := Run(pkg, opts, RandGlobal)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var suppressed, unsuppressed, suppressRule []Finding
+	for _, f := range res.Findings {
+		switch {
+		case f.Rule == SuppressRule:
+			suppressRule = append(suppressRule, f)
+		case f.Suppressed:
+			suppressed = append(suppressed, f)
+		default:
+			unsuppressed = append(unsuppressed, f)
+		}
+	}
+	// CommentAbove (comment-above idiom) and Inline (same-line) are
+	// silenced; MissingReason and UnknownRule leave their rand-global
+	// findings live.
+	if len(suppressed) != 2 {
+		t.Errorf("suppressed rand-global findings = %d, want 2: %v", len(suppressed), suppressed)
+	}
+	for _, f := range suppressed {
+		if !strings.Contains(f.Reason, "fixture exercises") {
+			t.Errorf("suppressed finding lost its reason: %+v", f)
+		}
+	}
+	if len(unsuppressed) != 2 {
+		t.Errorf("unsuppressed rand-global findings = %d, want 2: %v", len(unsuppressed), unsuppressed)
+	}
+	// The malformed (reasonless) and unknown-rule suppressions are
+	// findings of the synthetic suppress rule.
+	if len(suppressRule) != 2 {
+		t.Fatalf("suppress-rule findings = %d, want 2: %v", len(suppressRule), suppressRule)
+	}
+	var sawNoReason, sawUnknown bool
+	for _, f := range suppressRule {
+		if strings.Contains(f.Message, "no reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(f.Message, "unknown rule") {
+			sawUnknown = true
+		}
+		if f.Suppressed {
+			t.Errorf("suppress-rule finding must never be suppressed: %+v", f)
+		}
+	}
+	if !sawNoReason || !sawUnknown {
+		t.Errorf("suppress findings missing cases (no-reason=%v unknown=%v): %v",
+			sawNoReason, sawUnknown, suppressRule)
+	}
+	if got := len(res.Unsuppressed()); got != 4 {
+		t.Errorf("Unsuppressed() = %d findings, want 4 (2 rand-global + 2 suppress)", got)
+	}
+}
+
+func TestRunDedupsDoubleRegistration(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "rand-global")
+	opts := Options{}
+	pkg := loadFixture(t, dir, opts)
+	once, err := Run(pkg, opts, RandGlobal)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	twice, err := Run(pkg, opts, RandGlobal, RandGlobal)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(twice.Analyzers) != 1 {
+		t.Errorf("double registration ran %d analyzers, want 1", len(twice.Analyzers))
+	}
+	if len(twice.Findings) != len(once.Findings) {
+		t.Errorf("double registration changed findings: %d vs %d", len(twice.Findings), len(once.Findings))
+	}
+}
+
+func TestFindingsDeterministicallySorted(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "rand-global")
+	opts := Options{}
+	pkg := loadFixture(t, dir, opts)
+	res, err := Run(pkg, opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 1; i < len(res.Findings); i++ {
+		a, b := res.Findings[i-1], res.Findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+}
+
+func TestByNameAndKnownRule(t *testing.T) {
+	as, err := ByName("rand-global", "sync-errcheck")
+	if err != nil || len(as) != 2 {
+		t.Fatalf("ByName: %v (%d analyzers)", err, len(as))
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if !KnownRule(SuppressRule) {
+		t.Error("KnownRule must accept the synthetic suppress rule")
+	}
+	if KnownRule("nope") {
+		t.Error("KnownRule accepted an unknown rule")
+	}
+	if len(All()) < 7 {
+		t.Errorf("All() = %d analyzers, want at least 7", len(All()))
+	}
+}
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text    string
+		ok      bool
+		wantErr bool
+		rules   []string
+		reason  string
+	}{
+		{"rilvet:ignore rand-global deliberate demo seed", true, false, []string{"rand-global"}, "deliberate demo seed"},
+		{"  rilvet:ignore map-order,ctx-loop two rules one reason", true, false, []string{"map-order", "ctx-loop"}, "two rules one reason"},
+		{"rilvet:ignore rand-global", true, true, nil, ""},
+		{"rilvet:ignore", true, true, nil, ""},
+		{"rilvet:ignore ,, empty names", true, true, nil, ""},
+		{"rilvet:ignoreX other token", false, false, nil, ""},
+		{"a plain comment", false, false, nil, ""},
+	}
+	for _, c := range cases {
+		s, ok, err := ParseSuppression(c.text)
+		if ok != c.ok || (err != nil) != c.wantErr {
+			t.Errorf("ParseSuppression(%q) = ok=%v err=%v, want ok=%v err=%v", c.text, ok, err, c.ok, c.wantErr)
+			continue
+		}
+		if !c.ok || c.wantErr {
+			continue
+		}
+		if len(s.Rules) != len(c.rules) || s.Reason != c.reason {
+			t.Errorf("ParseSuppression(%q) = %+v, want rules=%v reason=%q", c.text, s, c.rules, c.reason)
+			continue
+		}
+		for i := range c.rules {
+			if s.Rules[i] != c.rules[i] {
+				t.Errorf("ParseSuppression(%q) rule %d = %q, want %q", c.text, i, s.Rules[i], c.rules[i])
+			}
+		}
+	}
+}
+
+func TestSuppressionNeverCoversSuppressRule(t *testing.T) {
+	s := Suppression{Rules: []string{SuppressRule, "rand-global"}, Reason: "nice try"}
+	if s.Covers(SuppressRule) {
+		t.Fatal("a suppression must never cover the suppress rule")
+	}
+	if !s.Covers("rand-global") {
+		t.Fatal("Covers lost its listed rule")
+	}
+}

@@ -1,0 +1,208 @@
+package golint
+
+import (
+	"go/ast"
+)
+
+// GoroutineHygiene enforces two rules on goroutines in non-test code:
+//
+//  1. A `go func() {...}()` literal must begin its life with a defer
+//     that either recovers (panic isolation — one crashing job must
+//     not kill the process) or signals completion via a WaitGroup's
+//     Done (so the spawner can drain it). The sweep pool's workers do
+//     both by construction; ad-hoc goroutines that do neither are
+//     exactly the ones that leak or take the daemon down.
+//
+//  2. A channel send inside a loop of a function that participates in
+//     cancellation (has a ctx/done in scope) must be wrapped in a
+//     select that can observe the cancellation — a bare `ch <- v` in
+//     a cancellable loop deadlocks the worker forever once the
+//     receiver has gone away.
+var GoroutineHygiene = &Analyzer{
+	Name: "goroutine-hygiene",
+	Doc:  "require panic isolation or WaitGroup accounting in goroutines, and cancellable channel sends in loops",
+	Run:  runGoroutineHygiene,
+}
+
+func runGoroutineHygiene(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				lit, ok := n.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				if !hasHygieneDefer(lit.Body) {
+					p.Report(n.Pos(),
+						"goroutine literal has no defer'd recover or WaitGroup Done; a panic here kills the process and the spawner cannot drain it")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCancellableSends(p, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasHygieneDefer reports whether the body's top-level statements
+// include a defer that recovers or calls a Done method: `defer
+// wg.Done()`, `defer func() { ... recover() ... }()`, or a defer'd
+// helper whose call chain we cannot see (a defer'd method call other
+// than Done is accepted — it may well recover internally, and
+// flagging it would punish factoring the recovery out).
+func hasHygieneDefer(body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		d, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		switch fun := d.Call.Fun.(type) {
+		case *ast.SelectorExpr:
+			// defer x.Anything() — Done, or a helper that may recover.
+			return true
+		case *ast.FuncLit:
+			if callsRecover(fun.Body) {
+				return true
+			}
+		case *ast.Ident:
+			if fun.Name == "recover" {
+				return true
+			}
+			// defer someHelper() — may recover internally.
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether the block calls the recover builtin
+// (not inside a nested function literal).
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "recover" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkCancellableSends flags bare channel sends inside for-loops of
+// functions that have a context (or done channel) in scope — the send
+// must sit in a select with the cancellation case.
+func checkCancellableSends(p *Pass, body *ast.BlockStmt) {
+	if !blockReferencesCancellation(p, body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, isFor := n.(*ast.ForStmt)
+		rng, isRange := n.(*ast.RangeStmt)
+		if !isFor && !isRange {
+			return true
+		}
+		var loopBody *ast.BlockStmt
+		if isFor {
+			loopBody = loop.Body
+		} else {
+			// `for v := range ch` receives; sends in its body still count.
+			loopBody = rng.Body
+		}
+		reportBareSends(p, loopBody)
+		return true
+	})
+}
+
+// reportBareSends reports channel sends in the block that are not a
+// select-case comm statement. Nested loops are handled by the outer
+// Inspect visiting them separately, so this only looks at sends whose
+// nearest enclosing select (if any) does not own them.
+func reportBareSends(p *Pass, block *ast.BlockStmt) {
+	var walk func(n ast.Node, inSelectComm bool)
+	walk = func(n ast.Node, inSelectComm bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.SendStmt:
+			if !inSelectComm {
+				p.Report(n.Pos(),
+					"bare channel send in a cancellable loop can block forever; wrap it in a select with the ctx.Done()/done case")
+			}
+			return
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm != nil {
+					walk(comm.Comm, true)
+				}
+				for _, s := range comm.Body {
+					walk(s, false)
+				}
+			}
+			return
+		}
+		// Generic descent over child statements/expressions.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			switch child.(type) {
+			case *ast.SendStmt, *ast.SelectStmt, *ast.FuncLit:
+				walk(child, false)
+				return false
+			}
+			return true
+		})
+	}
+	walk(block, false)
+}
+
+// blockReferencesCancellation reports whether the function body
+// mentions a context-typed value or an identifier named ctx/done —
+// the function participates in a cancellation scheme, so its loops
+// are expected to be interruptible.
+func blockReferencesCancellation(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if v.Name == "ctx" || v.Name == "done" {
+				found = true
+				return false
+			}
+		case ast.Expr:
+			if isContextType(p.TypeOf(v)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

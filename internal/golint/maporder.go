@@ -1,0 +1,270 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder reports `range` loops over maps whose iteration order can
+// leak into an ordered sink — a slice appended across iterations, or
+// writer/printer/hash output emitted inside the loop body — without
+// an intervening sort. Go randomizes map iteration order per run, so
+// any such leak breaks the repo's replayability guarantees: the sweep
+// runner's deterministic result order, the journal's bit-identical
+// replay, and the report tables' stable rendering.
+//
+// The canonical fix is collect-then-sort: append the keys to a slice,
+// sort it, and range over the slice. The analyzer recognizes that
+// idiom — an appended slice that is later passed to a sort call in
+// the same function is not a finding. Order-insensitive accumulation
+// (counters, sums, min/max, writes into another map) is not flagged.
+var MapOrder = &Analyzer{
+	Name: "map-order",
+	Doc:  "detect map iteration order leaking into slices, output or hashes without a sort",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if body := funcBody(n); body != nil {
+				checkMapRanges(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcBody extracts the body of a function declaration or literal.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// checkMapRanges finds map-ranges directly inside one function body
+// (nested function literals are visited separately by the outer
+// Inspect, so each body is analyzed exactly once against its own
+// statement list).
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != nil {
+			return false // separate body, analyzed on its own
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok && isMapType(p.TypeOf(rs.X)) {
+			ranges = append(ranges, rs)
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		checkOneMapRange(p, body, rs)
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkOneMapRange inspects one map-range's body for ordered sinks.
+func checkOneMapRange(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			// x = append(x, ...) growing a slice across iterations.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target := rootIdent(n.Lhs[i])
+				if target == nil {
+					continue
+				}
+				if idx, ok := n.Lhs[i].(*ast.IndexExpr); ok && isMapType(p.TypeOf(idx.X)) {
+					continue // m[k] = append(m[k], ...): per-key, order-free
+				}
+				if declaredWithin(p, target, rs.Body) {
+					continue // loop-local slice: order cannot escape the iteration
+				}
+				if sortedAfter(p, fnBody, rs, target) {
+					continue // collect-then-sort idiom
+				}
+				p.Report(n.Pos(),
+					"append to %q inside a map range records map iteration order; sort %q afterwards or iterate sorted keys",
+					target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			if name, ok := orderedSinkCall(p, n); ok {
+				p.Report(n.Pos(),
+					"%s inside a map range emits output in map iteration order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != "append" {
+		return false
+	}
+	if obj := p.ObjectOf(ident); obj != nil {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}
+
+// rootIdent unwraps x, x[i], x.f chains to the base identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether ident's declaration lies inside the
+// given node's source range (best-effort: falls back to false without
+// type info, which errs toward reporting).
+func declaredWithin(p *Pass, ident *ast.Ident, within ast.Node) bool {
+	obj := p.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= within.Pos() && obj.Pos() <= within.End()
+}
+
+// sortedAfter reports whether, lexically after the range loop in the
+// same function body, target is passed to a sort/slices call — the
+// collect-then-sort idiom.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, target *ast.Ident) bool {
+	obj := p.ObjectOf(target)
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			root := rootIdent(arg)
+			if root == nil {
+				continue
+			}
+			if root.Name == target.Name &&
+				(obj == nil || p.ObjectOf(root) == obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// orderedSinkCall reports calls inside a map-range body that emit
+// bytes in call order: fmt printers to writers/strings, io writes,
+// and hash updates.
+func orderedSinkCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "fmt" {
+		switch name {
+		case "Fprintf", "Fprintln", "Fprint", "Printf", "Println", "Print":
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	// Method sinks: io.Writer / strings.Builder / hash.Hash style
+	// writes. Only flagged when the receiver's type is known to have a
+	// writer shape, so plain method names elsewhere don't trip it.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		t := p.TypeOf(sel.X)
+		if t == nil {
+			return "", false
+		}
+		if hasWriteMethod(t) {
+			return typeShort(t) + "." + name, true
+		}
+	}
+	return "", false
+}
+
+// hasWriteMethod reports whether t's method set (including pointer
+// methods for addressable values) contains Write([]byte) (int, error)
+// — the io.Writer contract.
+func hasWriteMethod(t types.Type) bool {
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i)
+		if m.Obj().Name() != "Write" {
+			continue
+		}
+		sig, ok := m.Obj().Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+			continue
+		}
+		if slice, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+			if basic, ok := slice.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// typeShort renders a type name without its package path for
+// messages.
+func typeShort(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

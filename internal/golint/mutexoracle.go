@@ -1,0 +1,197 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MutexOracle forbids holding a sync.Mutex or sync.RWMutex across a
+// call into the attack oracle/solver entry points. An oracle query
+// simulates a full circuit and a solver call can run for seconds to
+// hours; a lock held across either serializes every sweep worker
+// behind one job and is the canonical way to turn the worker pool
+// into a single-lane queue. The SimOracle's own internal buffer lock
+// is fine — it guards nanosecond-scale simulator scratch state, and
+// its critical section calls only the simulator, never back into
+// solver or attack entry points.
+//
+// Oracle/solver entry points: exported functions of
+// repro/internal/attack (SATAttack, AppSAT, Sensitize, OneHot, ...),
+// the Oracle interface's Query/QueryWords, and (*sat.Solver).Solve.
+var MutexOracle = &Analyzer{
+	Name: "mutex-oracle",
+	Doc:  "forbid holding a mutex across oracle queries or solver calls",
+	Run:  runMutexOracle,
+}
+
+func runMutexOracle(p *Pass) error {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if body := funcBody(n); body != nil {
+				checkMutexOracle(p, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMutexOracle walks one function body's statement list tracking
+// a coarse lock state: Lock()/RLock() sets it, Unlock()/RUnlock()
+// clears it, `defer mu.Unlock()` leaves it held for the rest of the
+// body. Any oracle/solver entry call while held is a finding. The
+// tracking is linear (no branch-sensitive state) — good enough for
+// real lock usage, which in this repo is Lock-defer-Unlock or
+// Lock-work-Unlock straight lines.
+func checkMutexOracle(p *Pass, body *ast.BlockStmt) {
+	held := false
+	var heldAt ast.Node
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, stmt := range stmts {
+			switch s := stmt.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					switch mutexCallKind(p, call) {
+					case "lock":
+						held, heldAt = true, s
+						continue
+					case "unlock":
+						held = false
+						continue
+					}
+				}
+			case *ast.DeferStmt:
+				// defer mu.Unlock(): the lock stays held to the end of
+				// the function — state unchanged.
+				continue
+			case *ast.BlockStmt:
+				walk(s.List)
+				continue
+			case *ast.IfStmt:
+				walk(s.Body.List)
+				if s.Else != nil {
+					if b, ok := s.Else.(*ast.BlockStmt); ok {
+						walk(b.List)
+					}
+				}
+				continue
+			case *ast.ForStmt:
+				walk(s.Body.List)
+				continue
+			case *ast.RangeStmt:
+				walk(s.Body.List)
+				continue
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body)
+					}
+				}
+				continue
+			}
+			if held {
+				reportOracleCalls(p, stmt, heldAt)
+			}
+		}
+	}
+	walk(body.List)
+}
+
+// mutexCallKind classifies a call as "lock", "unlock" or "".
+func mutexCallKind(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	kind := ""
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = "lock"
+	case "Unlock", "RUnlock":
+		kind = "unlock"
+	default:
+		return ""
+	}
+	// With type info, require a sync mutex receiver; without, accept
+	// the name (fixtures and partial-typecheck fallback).
+	if t := p.TypeOf(sel.X); t != nil {
+		if !typeIs(t, "sync.Mutex") && !typeIs(t, "sync.RWMutex") {
+			return ""
+		}
+	}
+	return kind
+}
+
+// reportOracleCalls reports oracle/solver entry calls inside stmt.
+func reportOracleCalls(p *Pass, stmt ast.Stmt, heldAt ast.Node) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := oracleEntry(p, call); ok {
+			p.Report(call.Pos(),
+				"%s called with a mutex held (locked at line %d); oracle queries and solver calls can run for seconds and serialize every worker behind this lock",
+				name, p.Fset.Position(heldAt.Pos()).Line)
+		}
+		return true
+	})
+}
+
+// oracleEntry reports whether call enters the oracle/solver layer:
+// a method named Query/QueryWords (oracle interface), Solve
+// (sat.Solver), or an exported function of the attack package.
+func oracleEntry(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Query", "QueryWords", "Solve":
+		// Confirm against the receiver's package when types are
+		// available: sat solver or attack oracle.
+		if t := p.TypeOf(sel.X); t != nil {
+			if !typeFromPkg(t, "internal/sat") && !typeFromPkg(t, "internal/attack") {
+				return "", false
+			}
+		}
+		return exprName(sel.X) + "." + name, true
+	}
+	// attack.SATAttack / attack.AppSAT / ... package-level entries.
+	if pkg, ok := sel.X.(*ast.Ident); ok {
+		if obj := p.ObjectOf(pkg); obj != nil {
+			if pkgName, ok := obj.(*types.PkgName); ok {
+				if strings.HasSuffix(pkgName.Imported().Path(), "internal/attack") && ast.IsExported(name) {
+					return pkg.Name + "." + name, true
+				}
+				return "", false
+			}
+		}
+		if pkg.Name == "attack" && ast.IsExported(name) {
+			return pkg.Name + "." + name, true
+		}
+	}
+	return "", false
+}
+
+// typeFromPkg reports whether t's named type (after pointer
+// indirection) is declared in a package whose path ends with suffix.
+func typeFromPkg(t types.Type, suffix string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Interfaces (attack.Oracle as a parameter type) are named too;
+		// anything else is unknown — treat as not matching.
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), suffix)
+}

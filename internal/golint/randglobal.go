@@ -1,0 +1,104 @@
+package golint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// RandGlobal forbids drawing randomness from the math/rand (or
+// math/rand/v2) global source in non-test code — every consumer must
+// construct an explicit seeded generator (rand.New(rand.NewSource(
+// seed))) so that simulations, attacks and fuzz reproductions are
+// replayable from a logged seed. Calls like rand.Intn, rand.Uint64 or
+// rand.Seed on the package itself are findings; constructing sources
+// and generators (rand.New, rand.NewSource, rand.NewPCG, ...) and
+// referring to the package's types (rand.Rand, rand.Source) are not.
+// A dot import hides global-source calls from review and is a finding
+// in itself. This is the former cmd/repolint rule, folded in as
+// rilvet's first analyzer.
+var RandGlobal = &Analyzer{
+	Name: "rand-global",
+	Doc:  "forbid the math/rand global source in non-test code",
+	Run:  runRandGlobal,
+}
+
+// allowedRandSelector lists the math/rand and math/rand/v2 package
+// members that do NOT touch the global source: constructors for
+// explicit generators and the package's type names.
+var allowedRandSelector = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Source":    true,
+	"Source64":  true,
+	"Rand":      true,
+	"Zipf":      true,
+	// math/rand/v2 additions.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func isMathRand(importPath string) bool {
+	return importPath == "math/rand" || importPath == "math/rand/v2"
+}
+
+func runRandGlobal(p *Pass) error {
+	for _, file := range p.Files {
+		// Map the local names the file binds math/rand to. A blank
+		// import pulls in no names.
+		randNames := map[string]string{}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || !isMathRand(path) {
+				continue
+			}
+			name := path[strings.LastIndex(path, "/")+1:]
+			if name == "v2" {
+				name = "rand"
+			}
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			switch name {
+			case "_":
+				continue
+			case ".":
+				p.Report(imp.Pos(), "dot import of %s hides global-source calls from review; import it by name and use an explicit seeded source", path)
+				continue
+			}
+			randNames[name] = path
+		}
+		if len(randNames) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path, ok := randNames[ident.Name]
+			if !ok || allowedRandSelector[sel.Sel.Name] {
+				return true
+			}
+			// Guard against a local variable shadowing the package name:
+			// with type info, only package-qualified selectors count.
+			if obj := p.ObjectOf(ident); obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			p.Report(sel.Pos(), "%s.%s uses the %s global source; construct an explicit seeded generator instead (rand.New(rand.NewSource(seed)))",
+				ident.Name, sel.Sel.Name, path)
+			return true
+		})
+	}
+	return nil
+}

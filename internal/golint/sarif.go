@@ -1,0 +1,120 @@
+package golint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SARIF rendering for CI annotation. The shapes below are the minimal
+// subset of SARIF 2.1.0 that GitHub code scanning and similar
+// consumers accept: one run, one tool, the analyzer registry as rules,
+// findings as results with physical locations. Suppressed findings
+// are carried with the standard suppressions property so viewers show
+// them struck through instead of dropping the audit trail.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders the results of a whole run (across packages) as
+// one SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, results []*Result) error {
+	driver := sarifDriver{Name: "rilvet"}
+	for _, a := range All() {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               SuppressRule,
+		ShortDescription: sarifMessage{Text: "malformed or reasonless //rilvet:ignore suppression"},
+	})
+	run := sarifRun{Tool: sarifTool{Driver: driver}, Results: []sarifResult{}}
+	for _, res := range results {
+		for _, f := range res.Findings {
+			sr := sarifResult{
+				RuleID:  f.Rule,
+				Level:   "error",
+				Message: sarifMessage{Text: f.Message},
+				Locations: []sarifLocation{{
+					PhysicalLocation: sarifPhysicalLocation{
+						ArtifactLocation: sarifArtifactLocation{URI: f.File},
+						Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+					},
+				}},
+			}
+			if f.Suppressed {
+				sr.Suppressions = []sarifSuppression{{
+					Kind:          "inSource",
+					Justification: f.Reason,
+				}}
+			}
+			run.Results = append(run.Results, sr)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{run},
+	})
+}

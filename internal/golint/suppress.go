@@ -1,0 +1,180 @@
+package golint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// osReadFile is swappable for tests.
+var osReadFile = os.ReadFile
+
+// SuppressRule is the synthetic rule name under which the driver
+// reports malformed suppression comments. It is the one rule that can
+// never itself be suppressed — otherwise a reasonless suppression
+// could silence the check that demands reasons.
+const SuppressRule = "suppress"
+
+// suppressPrefix introduces a suppression comment. The format is
+//
+//	//rilvet:ignore <rule>[,<rule>...] <reason>
+//
+// where every rule must name a registered analyzer and the reason is
+// mandatory — a suppression is a reviewed exception, and the review
+// lives in the reason.
+const suppressPrefix = "rilvet:ignore"
+
+// Suppression is one parsed //rilvet:ignore comment.
+type Suppression struct {
+	Rules  []string
+	Reason string
+}
+
+// Covers reports whether the suppression silences the given rule.
+func (s Suppression) Covers(rule string) bool {
+	if rule == SuppressRule {
+		return false
+	}
+	for _, r := range s.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSuppression parses the text of one comment (without the //
+// or /* markers). ok is false when the comment is not a suppression
+// comment at all; err is non-nil when it is one but is malformed
+// (no rules, or an empty reason). Rule-name validity is the driver's
+// concern, not the parser's — the parser has no analyzer registry.
+func ParseSuppression(text string) (s Suppression, ok bool, err error) {
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, suppressPrefix) {
+		return Suppression{}, false, nil
+	}
+	rest := text[len(suppressPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. "rilvet:ignoreX" — some other token, not a suppression.
+		return Suppression{}, false, nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return Suppression{}, true, fmt.Errorf("suppression names no rule (want //%s <rule> <reason>)", suppressPrefix)
+	}
+	for _, r := range strings.Split(fields[0], ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return Suppression{}, true, fmt.Errorf("suppression has an empty rule name in %q", fields[0])
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	s.Reason = strings.TrimSpace(strings.Join(fields[1:], " "))
+	if s.Reason == "" {
+		return Suppression{}, true, fmt.Errorf("suppression of %s gives no reason; a suppression is a reviewed exception and the review lives in the reason", fields[0])
+	}
+	return s, true, nil
+}
+
+// fileSuppressions maps line number -> suppressions active on that
+// line for one file.
+type fileSuppressions map[int][]Suppression
+
+// applySuppressions walks every file's comments, reports malformed
+// suppressions under the synthetic "suppress" rule, and marks
+// findings covered by a well-formed suppression on the finding's own
+// line or alone on the line directly above.
+func applySuppressions(pass *Pass, pkg *Package) {
+	byFile := map[string]fileSuppressions{}
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		fname := tf.Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				s, ok, err := ParseSuppression(text)
+				if err != nil {
+					pass.ReportRule(SuppressRule, c.Pos(), "%v", err)
+					continue
+				}
+				if !ok {
+					continue
+				}
+				for _, r := range s.Rules {
+					if !KnownRule(r) {
+						pass.ReportRule(SuppressRule, c.Pos(),
+							"suppression names unknown rule %q", r)
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := byFile[fname]
+				if m == nil {
+					m = fileSuppressions{}
+					byFile[fname] = m
+				}
+				// The suppression covers its own line. When the comment
+				// stands alone on its line, it covers the next line too —
+				// the comment-above idiom.
+				m[pos.Line] = append(m[pos.Line], s)
+				if standsAlone(fname, pos.Line, pos.Column) {
+					m[pos.Line+1] = append(m[pos.Line+1], s)
+				}
+			}
+		}
+	}
+	for i := range pass.findings {
+		f := &pass.findings[i]
+		for _, s := range byFile[f.File][f.Line] {
+			if s.Covers(f.Rule) {
+				f.Suppressed = true
+				f.Reason = s.Reason
+				break
+			}
+		}
+	}
+}
+
+// standsAlone reports whether the comment starting at (line, col) in
+// the named file is the first token on its line — i.e. everything
+// before it is whitespace. It re-reads the file; suppression comments
+// are rare enough that the extra I/O is noise, and the per-file line
+// cache keeps it to one read per file.
+func standsAlone(fname string, line, col int) bool {
+	lines := lineCacheFor(fname)
+	if line-1 >= len(lines) || col < 1 {
+		return false
+	}
+	prefix := lines[line-1]
+	if col-1 > len(prefix) {
+		return false
+	}
+	return strings.TrimSpace(prefix[:col-1]) == ""
+}
+
+// lineCache memoizes file contents split into lines for standsAlone.
+// The driver is a short-lived CLI; the cache is never invalidated.
+var (
+	lineCacheMu sync.Mutex
+	lineCache   = map[string][]string{}
+)
+
+func lineCacheFor(fname string) []string {
+	lineCacheMu.Lock()
+	defer lineCacheMu.Unlock()
+	if lines, ok := lineCache[fname]; ok {
+		return lines
+	}
+	raw, err := osReadFile(fname)
+	var lines []string
+	if err == nil {
+		lines = strings.Split(string(raw), "\n")
+	}
+	lineCache[fname] = lines
+	return lines
+}

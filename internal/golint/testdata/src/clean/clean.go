@@ -1,0 +1,5 @@
+// Package fixture is a deliberately finding-free package used by the
+// CLI exit-code tests.
+package fixture
+
+func Nothing() int { return 0 }

@@ -1,0 +1,20 @@
+package fixture
+
+func Spin(limit int) int {
+	n := 0
+	for { // want "exported Spin contains an unbounded loop"
+		n++
+		if n >= limit {
+			break
+		}
+	}
+	return n
+}
+
+func SpinTrue(step func() bool) {
+	for true { // want "exported SpinTrue contains an unbounded loop"
+		if !step() {
+			return
+		}
+	}
+}

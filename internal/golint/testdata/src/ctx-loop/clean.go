@@ -1,0 +1,33 @@
+package fixture
+
+import "context"
+
+// SpinCtx consults a context inside its unbounded loop: cancellable.
+func SpinCtx(ctx context.Context) int {
+	n := 0
+	for {
+		if ctx.Err() != nil {
+			return n
+		}
+		n++
+	}
+}
+
+// spinHelper is unexported — internal helpers inherit cancellation
+// from their exported callers.
+func spinHelper(step func() bool) {
+	for {
+		if !step() {
+			return
+		}
+	}
+}
+
+// Bounded loops have a condition and are not flagged.
+func Bounded(limit int) int {
+	n := 0
+	for i := 0; i < limit; i++ {
+		n++
+	}
+	return n
+}

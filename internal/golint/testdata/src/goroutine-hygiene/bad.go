@@ -1,0 +1,22 @@
+package fixture
+
+import "context"
+
+func work() {}
+
+func SpawnLeaky(jobs []int) {
+	for range jobs {
+		go func() { // want "goroutine literal has no defer'd recover or WaitGroup Done"
+			work()
+		}()
+	}
+}
+
+func PumpBare(ctx context.Context, ch chan int) {
+	for i := 0; ; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- i // want "bare channel send in a cancellable loop"
+	}
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// SpawnAccounted signals completion through the WaitGroup: the
+// spawner can drain it.
+func SpawnAccounted(wg *sync.WaitGroup, jobs []int) {
+	for range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+}
+
+// SpawnIsolated recovers in a defer: a panicking job cannot kill the
+// process.
+func SpawnIsolated() {
+	go func() {
+		defer func() {
+			_ = recover()
+		}()
+		work()
+	}()
+}
+
+// PumpSelect wraps the send in a select with the cancellation case.
+func PumpSelect(ctx context.Context, ch chan int) {
+	for i := 0; ; i++ {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package fixture
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "records map iteration order"
+	}
+	return keys
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside a map range emits output in map iteration order"
+	}
+}
+
+func Digest(m map[string]bool) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want "Hash.Write inside a map range emits output in map iteration order"
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+func Render(m map[string]string) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k) // want "Builder.WriteString inside a map range emits output in map iteration order"
+	}
+	return sb.String()
+}

@@ -1,0 +1,46 @@
+package fixture
+
+import "sort"
+
+// KeysSorted is the canonical collect-then-sort idiom: the append is
+// followed by a sort of the same slice, so order cannot leak.
+func KeysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Invert appends under a map key — per-key accumulation is order-free.
+func Invert(m map[string]int) map[int][]string {
+	out := map[int][]string{}
+	for k, v := range m {
+		out[v] = append(out[v], k)
+	}
+	return out
+}
+
+// Total is order-insensitive accumulation.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ScratchPerIteration appends to a slice declared inside the loop
+// body; its order cannot escape the iteration.
+func ScratchPerIteration(m map[string]int) int {
+	longest := 0
+	for k := range m {
+		var parts []string
+		parts = append(parts, k)
+		if len(parts) > longest {
+			longest = len(parts)
+		}
+	}
+	return longest
+}

@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/sat"
+)
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string][]bool
+}
+
+func (c *cache) LookupLocked(o *attack.SimOracle, key string, in []bool) []bool {
+	c.mu.Lock()
+	out := o.Query(in) // want "o.Query called with a mutex held"
+	c.m[key] = out
+	c.mu.Unlock()
+	return out
+}
+
+func (c *cache) VerifyLocked(o attack.Oracle) (float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return attack.VerifyKey(nil, nil, nil, o, 1, 1) // want "attack.VerifyKey called with a mutex held"
+}
+
+func SolveLocked(mu *sync.Mutex, s *sat.Solver) sat.Status {
+	mu.Lock()
+	defer mu.Unlock()
+	return s.Solve() // want "s.Solve called with a mutex held"
+}

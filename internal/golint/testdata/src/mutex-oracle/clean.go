@@ -1,0 +1,42 @@
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/sat"
+)
+
+// LookupUnlocked queries the oracle first and takes the lock only for
+// the map update — the pattern the analyzer demands.
+func (c *cache) LookupUnlocked(o *attack.SimOracle, key string, in []bool) []bool {
+	out := o.Query(in)
+	c.mu.Lock()
+	c.m[key] = out
+	c.mu.Unlock()
+	return out
+}
+
+// Get holds the lock around map access only: no oracle in the
+// critical section.
+func (c *cache) Get(key string) ([]bool, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.m[key]
+	return out, ok
+}
+
+// Verify calls into the attack package with no lock held.
+func Verify(o attack.Oracle) (float64, error) {
+	return attack.VerifyKey(nil, nil, nil, o, 1, 1)
+}
+
+// SolveThenLock releases nothing because nothing is held during the
+// solver call.
+func SolveThenLock(mu *sync.Mutex, s *sat.Solver, hits *int) sat.Status {
+	st := s.Solve()
+	mu.Lock()
+	*hits++
+	mu.Unlock()
+	return st
+}

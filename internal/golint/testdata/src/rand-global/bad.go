@@ -1,0 +1,18 @@
+package fixture
+
+import (
+	"math/rand"
+	mrand "math/rand/v2"
+)
+
+func Roll() int {
+	return rand.Intn(6) // want "rand.Intn uses the math/rand global source"
+}
+
+func RollV2() uint64 {
+	return mrand.Uint64() // want "mrand.Uint64 uses the math/rand/v2 global source"
+}
+
+func ShuffleDeck(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the math/rand global source"
+}

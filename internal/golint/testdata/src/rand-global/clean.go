@@ -1,0 +1,19 @@
+package fixture
+
+import "math/rand"
+
+// Gen constructs an explicit seeded generator — replayable, allowed.
+func Gen(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+type localGen struct{}
+
+func (localGen) Intn(n int) int { return n / 2 }
+
+// Shadowed draws from a local value that shadows the package name;
+// the analyzer must not mistake it for the global source.
+func Shadowed() int {
+	rand := localGen{}
+	return rand.Intn(6)
+}

@@ -1,0 +1,5 @@
+package fixture
+
+import . "math/rand" // want "dot import of math/rand hides global-source calls"
+
+var dotRoll = Intn(6)

@@ -1,0 +1,22 @@
+package fixture
+
+import "math/rand"
+
+func CommentAbove() int {
+	//rilvet:ignore rand-global fixture exercises the comment-above idiom
+	return rand.Intn(6)
+}
+
+func Inline() int {
+	return rand.Intn(6) //rilvet:ignore rand-global fixture exercises same-line suppression
+}
+
+func MissingReason() int {
+	//rilvet:ignore rand-global
+	return rand.Intn(6)
+}
+
+func UnknownRule() int {
+	//rilvet:ignore not-a-rule the rule name is wrong on purpose
+	return rand.Intn(6)
+}

@@ -1,0 +1,44 @@
+package fixture
+
+import "os"
+
+func WriteDeferred(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "f.Close() error unobservable in defer on a write-path file"
+	_, err = f.Write(data)
+	return err
+}
+
+func WriteDiscarded(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync() // want "f.Sync() error discarded on a write-path file"
+	return f.Close()
+}
+
+func WriteBlank(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_ = f.Close() // want "f.Close() error explicitly discarded with _"
+}
+
+type Journal struct{}
+
+func (*Journal) Close() error { return nil }
+
+func NewJournal() *Journal { return &Journal{} }
+
+func UseJournal() {
+	j := NewJournal()
+	defer j.Close() // want "durable writer"
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import (
+	"errors"
+	"io"
+	"os"
+)
+
+// ReadAll is a read path: defer f.Close() on an os.Open file is the
+// normal idiom and exempt.
+func ReadAll(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteChecked observes every Sync/Close error.
+func WriteChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// CloseJournal returns the durable writer's close error to the caller.
+func CloseJournal(j *Journal) error {
+	return j.Close()
+}

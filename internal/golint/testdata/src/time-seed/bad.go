@@ -1,0 +1,20 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func WallClockSeed() int64 {
+	return time.Now().UnixNano() // want "time.Now().UnixNano() in a determinism-critical package"
+}
+
+func WallClockGen() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().Unix())) // want "time.Now().Unix() in a determinism-critical package" "wall clock feeds rand.NewSource" "wall clock feeds rand.New"
+}
+
+func SeedVar() {
+	var startSeed time.Time
+	startSeed = time.Now() // want "wall clock assigned to"
+	_ = startSeed
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "time"
+
+// Elapsed-time and deadline uses of the clock are allowed — only seed
+// material is forbidden.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func DeadlinePassed(deadline time.Time) bool {
+	return time.Now().After(deadline)
+}
+
+// Stamp assigns the clock to a non-seed identifier: allowed.
+func Stamp() time.Time {
+	started := time.Now()
+	return started
+}

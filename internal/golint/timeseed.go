@@ -1,0 +1,126 @@
+package golint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TimeSeed forbids wall-clock-derived seed material in the
+// determinism-critical packages (internal/attack, internal/sweep,
+// internal/netlist, internal/report by default). A seed taken from
+// time.Now() makes a sweep unreproducible from its logged parameters
+// and breaks the journal's bit-identical replay contract. Flagged:
+// time.Now().UnixNano()/.Unix()/.UnixMilli()/.UnixMicro() anywhere
+// (there is no legitimate consumer of absolute wall-clock integers in
+// these packages — durations and deadlines use Since/Until/After),
+// time.Now() passed directly into rand.NewSource/rand.New, and
+// time.Now() assigned to an identifier whose name contains "seed".
+// Elapsed-time and deadline uses (time.Since, time.Now().After(...))
+// are untouched.
+var TimeSeed = &Analyzer{
+	Name: "time-seed",
+	Doc:  "forbid wall-clock seed material in determinism-critical packages",
+	Run:  runTimeSeed,
+}
+
+func runTimeSeed(p *Pass) error {
+	if !p.inDeterminismPkg() {
+		return nil
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// time.Now().UnixNano() and friends.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isTimeNowCall(sel.X) {
+					switch sel.Sel.Name {
+					case "UnixNano", "Unix", "UnixMilli", "UnixMicro":
+						p.Report(n.Pos(),
+							"time.Now().%s() in a determinism-critical package; derive seeds from logged parameters (sweep.DeriveSeed) instead of the wall clock",
+							sel.Sel.Name)
+					}
+				}
+				// rand.NewSource(time.Now()...) / rand.New(...) with a
+				// wall-clock argument.
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "NewSource" || sel.Sel.Name == "New" {
+						for _, arg := range n.Args {
+							if containsTimeNow(arg) {
+								p.Report(arg.Pos(),
+									"wall clock feeds %s.%s; seeds must come from logged parameters so runs are replayable",
+									exprName(sel.X), sel.Sel.Name)
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if !containsTimeNow(rhs) || i >= len(n.Lhs) {
+						continue
+					}
+					if ident := rootIdent(n.Lhs[i]); ident != nil &&
+						strings.Contains(strings.ToLower(ident.Name), "seed") {
+						p.Report(n.Pos(),
+							"wall clock assigned to %q; seeds must come from logged parameters so runs are replayable", ident.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// inDeterminismPkg reports whether the pass's package path falls in
+// the configured determinism-critical set.
+func (p *Pass) inDeterminismPkg() bool {
+	path := p.Path
+	if p.Pkg != nil && p.Pkg.Path() != "" {
+		path = p.Pkg.Path()
+	}
+	for _, sub := range p.Opts.determinismPkgs() {
+		if strings.Contains(path, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTimeNowCall reports whether e is the call time.Now().
+func isTimeNowCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "time"
+}
+
+// containsTimeNow reports whether the expression tree contains a
+// time.Now() call.
+func containsTimeNow(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok && isTimeNowCall(expr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprName renders a short name for an expression in messages.
+func exprName(e ast.Expr) string {
+	if ident, ok := e.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return "rand"
+}

@@ -161,6 +161,7 @@ func (n *Netlist) MarkOutput(id int) {
 // FreshName returns a gate name with the given prefix that does not
 // collide with any existing gate.
 func (n *Netlist) FreshName(prefix string) string {
+	//rilvet:ignore ctx-loop terminates within len(n.Gates)+1 probes — gate names are unique, so some counter value in that range is always free
 	for i := len(n.Gates); ; i++ {
 		name := fmt.Sprintf("%s_%d", prefix, i)
 		if _, ok := n.byName[name]; !ok {

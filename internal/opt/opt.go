@@ -36,7 +36,11 @@ func (s Stats) String() string {
 // test suite via SAT equivalence).
 func Optimize(nl *netlist.Netlist) (Stats, error) {
 	stats := Stats{GatesBefore: nl.NumLogicGates()}
-	for {
+	// Bounded fixpoint: every productive pass strictly shrinks or
+	// canonicalizes the netlist, and the pass cap stops pathological
+	// rewrite ping-pong, so the loop terminates without a context.
+	const maxPasses = 50
+	for stats.Passes <= maxPasses {
 		changed := 0
 		changed += constantFold(nl, &stats)
 		changed += identities(nl, &stats)
@@ -44,7 +48,7 @@ func Optimize(nl *netlist.Netlist) (Stats, error) {
 		changed += structuralHash(nl, &stats)
 		stats.Passes++
 		nl.Prune()
-		if changed == 0 || stats.Passes > 50 {
+		if changed == 0 {
 			break
 		}
 	}

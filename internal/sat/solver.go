@@ -593,6 +593,7 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	var restarts int64
 	checkCounter := 0
 
+	//rilvet:ignore ctx-loop cancellation is handled inside search via s.aborted(), which polls the deadline, conflict budget and SetContext context every few thousand conflicts
 	for {
 		budget := luby(restarts) * 128
 		st := s.search(budget, &checkCounter)

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 )
 
 // Sweep checkpointing: a sweep directory holds one manifest
@@ -191,17 +192,37 @@ func (c *Checkpoint) flushLocked() error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(append(raw, '\n')); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
+		return errors.Join(err, tmp.Close())
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), ManifestPath(c.dir))
+	if err := os.Rename(tmp.Name(), ManifestPath(c.dir)); err != nil {
+		return err
+	}
+	// The rename is only durable once the directory entry is synced;
+	// without this a crash can resurrect the previous manifest even
+	// though record() already reported the job persisted.
+	return syncDir(c.dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename in it survives a
+// crash. Filesystems that reject directory fsync (some network
+// mounts return EINVAL or ENOTSUP) degrade to the rename's own
+// guarantees.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return errors.Join(err, d.Close())
+	}
+	return d.Close()
 }
 
 // Complete reports whether every named job is recorded "done".
