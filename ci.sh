@@ -9,7 +9,10 @@
 # deliberately-broken fixture proving the gate bites), build, tests
 # under the race detector, a doubled -race pass over the sweep runner
 # (scheduling-sensitive), a coverage gate on the checkpoint-bearing
-# packages, a benchmark smoke that also emits BENCH_6.json, a fuzz
+# packages, a benchmark smoke that also emits BENCH_8.json (oracle
+# fast path, miter template stamping, portfolio solve), a portfolio
+# gate (three-way differential, clause exchange and portfolio-attack
+# suites under -race, plus a clause-exchange fuzz smoke), a fuzz
 # smoke stage (10s per parser/journal/audit/suppression target), the
 # netlint gate
 # — every checked-in .bench benchmark and a freshly locked circuit
@@ -83,11 +86,12 @@ for pkg in ./internal/attack/ ./internal/sweep/; do
     echo "ci: $pkg coverage ${cov}%"
 done
 
-echo "== benchmark smoke (oracle fast path compiles and runs) =="
-go test ./internal/attack/ -run='^$' -bench=Oracle -benchtime=1x | tee bench_smoke.out
-# Publish the smoke results as BENCH_6.json (one object per benchmark)
-# so downstream tooling can trend the oracle fast path without parsing
-# go test output.
+echo "== benchmark smoke (oracle fast path, miter stamping, portfolio solve) =="
+go test ./internal/attack/ -run='^$' -bench='Oracle|MiterStampVsReencode|SolvePortfolio' \
+    -benchtime=1x -timeout 20m | tee bench_smoke.out
+# Publish the smoke results as BENCH_8.json (one object per benchmark)
+# so downstream tooling can trend the oracle fast path, the template
+# stamper and the portfolio solver without parsing go test output.
 awk '
     BEGIN { print "["; n = 0 }
     /^Benchmark/ {
@@ -95,10 +99,22 @@ awk '
         printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
     }
     END { if (n) print ""; print "]" }
-' bench_smoke.out > BENCH_6.json
+' bench_smoke.out > BENCH_8.json
 rm -f bench_smoke.out
-[ -s BENCH_6.json ] || { echo "ci: BENCH_6.json is empty" >&2; exit 1; }
-echo "ci: wrote BENCH_6.json"
+[ -s BENCH_8.json ] || { echo "ci: BENCH_8.json is empty" >&2; exit 1; }
+echo "ci: wrote BENCH_8.json"
+
+echo "== portfolio gate: three-way differential + exchange under -race =="
+# The differential layer that admits the portfolio solver: a sliced
+# three-way agreement test (sequential vs 2- vs 8-worker) plus the
+# clause-exchange and portfolio-attack suites, all under the race
+# detector. rilvet ran repo-wide above; this stage is the targeted
+# correctness gate for the racing machinery itself.
+go test -race -run 'ThreeWay|ClauseExchange|Portfolio|StatsAdd|CrossMode' \
+    ./internal/sat/ ./internal/attack/
+
+echo "== portfolio gate: clause-exchange fuzz smoke =="
+go test ./internal/sat/ -run='^$' -fuzz='^FuzzClauseExchange$' -fuzztime=10s
 
 echo "== fuzz smoke (10s per parser/journal/audit target) =="
 for target in FuzzParseBench FuzzParseBenchLax FuzzParseVerilog; do

@@ -25,9 +25,10 @@ import (
 
 func main() {
 	var (
-		timeout = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
-		model   = flag.Bool("model", true, "print the satisfying assignment (v lines)")
-		stats   = flag.Bool("stats", true, "print solver statistics (c line)")
+		timeout   = flag.Duration("timeout", 0, "abort after this wall-clock budget (0 = none)")
+		model     = flag.Bool("model", true, "print the satisfying assignment (v lines)")
+		stats     = flag.Bool("stats", true, "print solver statistics (c line)")
+		portfolio = flag.Int("portfolio", 1, "race N diversified CDCL workers, first verdict wins (<2 = sequential)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	s := sat.New()
+	s := sat.NewEngine(*portfolio)
 	start := time.Now()
 	status := sat.Unsat
 	if s.AddFormula(f) {

@@ -38,6 +38,7 @@ func main() {
 		nolint  = flag.Bool("nolint", false, "skip the netlint gate on freshly locked circuits")
 		ckptDir = flag.String("checkpoint-dir", "", "persist per-table sweep manifests under this directory")
 		resume  = flag.Bool("resume", false, "resume from -checkpoint-dir: skip table cells already recorded done")
+		pfolio  = flag.Int("portfolio", 1, "race N diversified CDCL workers per attack solver call (<2 = sequential)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -59,7 +60,7 @@ func main() {
 		*d.dest = d.dir
 	}
 	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs,
-		CheckpointDir: *ckptDir, Resume: *resume}
+		CheckpointDir: *ckptDir, Resume: *resume, Portfolio: *pfolio}
 	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
 		os.Exit(1)

@@ -91,6 +91,7 @@ func main() {
 		sensitize  = flag.Bool("sensitize", false, "run the key-sensitization attack instead")
 		removal    = flag.Bool("removal", false, "run the structural removal attack instead")
 		tracePath  = flag.String("trace", "", "write a per-DIP CSV trace (iteration,dip,oracle) to this file")
+		portfolio  = flag.Int("portfolio", 1, "race N diversified CDCL workers per solver call (exact SAT attack only; <2 = sequential)")
 		ckptDir    = flag.String("checkpoint-dir", "", "journal DIP progress (and sweep manifest) into this directory")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint-dir: skip done targets, replay partial journals")
 	)
@@ -105,6 +106,9 @@ func main() {
 	}
 	if *ckptDir != "" && (*appsat || *sensitize || *removal) {
 		fail(fmt.Errorf("-checkpoint-dir supports the exact SAT attack only"))
+	}
+	if *portfolio >= 2 && (*appsat || *sensitize || *removal) {
+		fail(fmt.Errorf("-portfolio supports the exact SAT attack only"))
 	}
 
 	lockedList := splitList(*lockedPath)
@@ -139,7 +143,7 @@ func main() {
 	}
 
 	if len(lockedList) == 1 {
-		runSingle(lockedList[0], keyList[0], *prefix, *timeout,
+		runSingle(lockedList[0], keyList[0], *prefix, *timeout, *portfolio,
 			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut, ckpt, *resume)
 		return
 	}
@@ -152,7 +156,7 @@ func main() {
 			Seed:    sweep.DeriveSeed(1, i),
 			Timeout: *timeout + 30*time.Second, // headroom over the attack's own deadline
 			Run: func(ctx context.Context, _ int64) (any, error) {
-				return attackOne(ctx, locked, key, *prefix, *timeout, *appsat, *bva, nil,
+				return attackOne(ctx, locked, key, *prefix, *timeout, *portfolio, *appsat, *bva, nil,
 					jobJournalPath(ckpt, locked), *resume)
 			},
 		})
@@ -203,7 +207,7 @@ func jobJournalPath(ckpt *sweep.Checkpoint, name string) string {
 // With journalPath set the exact attack journals every DIP there;
 // resume additionally replays an existing journal first.
 func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
-	timeout time.Duration, appsat, bva bool, trace *os.File,
+	timeout time.Duration, portfolio int, appsat, bva bool, trace *os.File,
 	journalPath string, resume bool) (tr *targetResult, err error) {
 	f, err := os.Open(lockedPath)
 	if err != nil {
@@ -244,7 +248,7 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 		}
 		status, recovered, tr.Iterations = res.Status, res.Key, res.DIPs
 	} else {
-		opts := attack.SATOptions{Timeout: timeout, BVA: bva, Context: ctx}
+		opts := attack.SATOptions{Timeout: timeout, BVA: bva, Context: ctx, Portfolio: portfolio}
 		if trace != nil {
 			opts.Trace = trace
 		}
@@ -292,7 +296,7 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 }
 
 // runSingle preserves the original single-target output format.
-func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
+func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfolio int,
 	appsat, bva, sensitize, removal bool, tracePath, jsonOut string,
 	ckpt *sweep.Checkpoint, resume bool) {
 	f, err := os.Open(lockedPath)
@@ -357,7 +361,7 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration,
 		}
 	}
 	start := time.Now()
-	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, appsat, bva, trace,
+	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva, trace,
 		jobJournalPath(ckpt, lockedPath), resume)
 	if trace != nil {
 		err = errors.Join(err, trace.Close())

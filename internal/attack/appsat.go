@@ -103,6 +103,11 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 	act := enc.F.NewVar()
 	enc.F.AddClause(append(append([]cnf.Lit(nil), diffs...), cnf.MkLit(act, true))...)
 
+	tmpl, err := cnf.CompileTemplate(locked)
+	if err != nil {
+		return nil, err
+	}
+
 	solver := sat.New()
 	if !solver.AddFormula(enc.F) {
 		return nil, fmt.Errorf("attack: base encoding unsatisfiable")
@@ -132,16 +137,7 @@ func AppSAT(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt AppSATOpti
 	outBuf := make([]bool, len(locked.Outputs))
 	wantBuf := make([]uint64, len(locked.Outputs))
 	addConstraint := func(in, out []bool) error {
-		for _, keyVars := range [][]cnf.Var{key1, key2} {
-			cgv, err := encodeConstrainedCopy(solver, locked, funcPos, keyPos, keyVars, in)
-			if err != nil {
-				return err
-			}
-			for i, ov := range cgv {
-				solver.AddClause(cnf.MkLit(ov, !out[i]))
-			}
-		}
-		return nil
+		return constrainDIP(solver, tmpl, funcPos, keyPos, key1, key2, in, out)
 	}
 	extractKey := func() ([]bool, bool) {
 		if solver.Solve(cnf.MkLit(act, true)) != sat.Sat {

@@ -56,6 +56,12 @@ type JournalHeader struct {
 	Outputs int    `json:"outputs"`  // primary output count
 	KeyBits int    `json:"key_bits"` // key input count
 	BVA     bool   `json:"bva,omitempty"`
+	// Portfolio records that the journal was written by a portfolio
+	// attack: its DIP sequence is verdict-correct but trace-
+	// nondeterministic, so resumption uses constraint replay instead of
+	// verified re-solving. Excluded from header matching — a sequential
+	// journal may be resumed by a portfolio attack and vice versa.
+	Portfolio bool `json:"portfolio,omitempty"`
 	// Fingerprint is the CRC32 of the locked netlist's canonical .bench
 	// serialization plus the key positions, so a journal cannot be
 	// replayed against a different circuit.

@@ -148,6 +148,11 @@ func SATAttackOneHot(locked *netlist.Netlist, keyPos []int, hints []RoutingHint,
 		cnf.BVA(enc.F, 4, 32)
 	}
 
+	tmpl, err := cnf.CompileTemplate(relaxed)
+	if err != nil {
+		return nil, err
+	}
+
 	solver := sat.New()
 	if !solver.AddFormula(enc.F) {
 		return nil, fmt.Errorf("attack: onehot: base encoding unsatisfiable")
@@ -197,14 +202,8 @@ func SATAttackOneHot(locked *netlist.Netlist, keyPos []int, hints []RoutingHint,
 		}
 		out := oracle.Query(dip)
 		res.SAT.Iterations++
-		for _, keyVars := range [][]cnf.Var{key1, key2} {
-			cgv, err := encodeConstrainedCopy(solver, relaxed, funcPos, relaxedKeyPos, keyVars, dip)
-			if err != nil {
-				return nil, err
-			}
-			for i, ov := range cgv {
-				solver.AddClause(cnf.MkLit(ov, !out[i]))
-			}
+		if err := constrainDIP(solver, tmpl, funcPos, relaxedKeyPos, key1, key2, dip, out); err != nil {
+			return nil, err
 		}
 	}
 	res.SAT.Elapsed = time.Since(start)

@@ -58,6 +58,15 @@ type SATOptions struct {
 	Context context.Context
 	// MaxIterations bounds the DIP count (0 = unlimited).
 	MaxIterations int
+	// Portfolio, when >= 2, races that many diversified CDCL workers
+	// per solver call (first definitive verdict wins, learnt clauses
+	// shared; see sat.Portfolio). The attack's DIP sequence becomes
+	// trace-nondeterministic — journals written in portfolio mode are
+	// resumed by constraint replay rather than verified re-solving —
+	// but the recovered key is still exact: every worker is sound, and
+	// the accumulated DIP constraints are mode-independent. 0 or 1
+	// selects the sequential solver.
+	Portfolio int
 	// BVA applies bounded variable addition preprocessing to the base
 	// encoding (paper §IV-B pre-processing step).
 	BVA bool
@@ -84,6 +93,14 @@ type SATOptions struct {
 	// sequence and final key — matches an uninterrupted attack. A
 	// journal written by a different circuit, option set or solver
 	// version fails with ErrReplayDiverged.
+	//
+	// When the journal was written by a portfolio attack — or this
+	// attack runs one (Portfolio >= 2) — verified re-solving is
+	// impossible (portfolio traces are nondeterministic), so replay
+	// degrades to constraint replay: the journaled DIP constraints are
+	// applied directly, without solving, before the live loop starts.
+	// Still zero oracle re-queries; the continuation's DIP sequence may
+	// differ from the uninterrupted run's, the recovered key may not.
 	Resume *JournalData
 }
 
@@ -169,7 +186,17 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 		cnf.BVA(enc.F, 4, 32)
 	}
 
-	solver := sat.New()
+	// Compile the netlist to a CNF template once: every DIP iteration
+	// stamps two constrained copies from it instead of re-running the
+	// Tseitin encoder, reproducing the encoder's exact variable and
+	// clause order so solver behaviour (and journal replay) is
+	// unchanged.
+	tmpl, err := cnf.CompileTemplate(locked)
+	if err != nil {
+		return nil, err
+	}
+
+	solver := sat.NewEngine(opt.Portfolio)
 	if !solver.AddFormula(enc.F) {
 		return nil, fmt.Errorf("attack: base encoding unsatisfiable")
 	}
@@ -200,8 +227,10 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 			Version: JournalVersion, Circuit: locked.Name,
 			Inputs: len(funcPos), Outputs: len(locked.Outputs),
 			KeyBits: len(keyPos), BVA: opt.BVA, Fingerprint: fp,
+			Portfolio: opt.Portfolio >= 2,
 		}
 	}
+	constraintReplay := false
 	if opt.Resume != nil {
 		if err := opt.Resume.Header.matches(header); err != nil {
 			return nil, err
@@ -212,6 +241,7 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 			return resultFromDone(d)
 		}
 		replay = opt.Resume.Records
+		constraintReplay = opt.Resume.Header.Portfolio || opt.Portfolio >= 2
 		if n := len(replay); n > 0 {
 			start = start.Add(-time.Duration(replay[n-1].ElapsedMS) * time.Millisecond)
 		}
@@ -223,6 +253,37 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 	}
 	if opt.Timeout > 0 {
 		solver.SetDeadline(start.Add(opt.Timeout))
+	}
+
+	if constraintReplay {
+		// Portfolio replay: apply every journaled DIP constraint
+		// directly, without solving. The oracle is never queried for
+		// journaled records, and the live loop below starts from a
+		// clause database equivalent to the original run's — same DIP
+		// constraints, different learnt clauses.
+		for _, rec := range replay {
+			dip, err := parseBits(rec.DIP)
+			if err != nil {
+				return nil, err
+			}
+			out, err := parseBits(rec.Oracle)
+			if err != nil {
+				return nil, err
+			}
+			if err := constrainDIP(solver, tmpl, funcPos, keyPos, key1, key2, dip, out); err != nil {
+				// A journal for this circuit cannot contradict its own
+				// encoding; a top-level conflict means the journal
+				// belongs elsewhere.
+				return nil, fmt.Errorf("attack: replaying iteration %d: %v: %w",
+					rec.Iteration, err, ErrReplayDiverged)
+			}
+			res.Replayed++
+			res.Iterations++
+			if opt.Trace != nil {
+				fmt.Fprintf(opt.Trace, "%d,%s,%s\n", res.Iterations, rec.DIP, rec.Oracle)
+			}
+		}
+		replay = nil
 	}
 
 	assumeDiff := cnf.MkLit(act, false)
@@ -309,14 +370,8 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 		}
 
 		// Constrain both key copies to reproduce the oracle on the DIP.
-		for _, keyVars := range [][]cnf.Var{key1, key2} {
-			cgv, err := encodeConstrainedCopy(solver, locked, funcPos, keyPos, keyVars, dip)
-			if err != nil {
-				return nil, err
-			}
-			for i, ov := range cgv {
-				solver.AddClause(cnf.MkLit(ov, !out[i]))
-			}
+		if err := constrainDIP(solver, tmpl, funcPos, keyPos, key1, key2, dip, out); err != nil {
+			return nil, err
 		}
 	}
 	if res.Status != Timeout && res.Replayed < len(replay) {
@@ -350,7 +405,11 @@ func SATAttack(locked *netlist.Netlist, keyPos []int, oracle Oracle, opt SATOpti
 
 // matches validates a journal header against the header the resumed
 // attack would write, rejecting resumption across circuits or options.
+// Portfolio is excluded: the accumulated DIP constraints are solver-
+// mode-independent, so journals resume across modes (the replay
+// strategy, not the validity, depends on it).
 func (h JournalHeader) matches(want JournalHeader) error {
+	h.Portfolio, want.Portfolio = false, false
 	if h != want {
 		return fmt.Errorf("attack: journal header %+v does not match attack %+v: %w",
 			h, want, ErrReplayDiverged)
@@ -383,25 +442,40 @@ func resultFromDone(d *JournalDone) (*SATResult, error) {
 	return res, nil
 }
 
-// encodeConstrainedCopy adds one circuit copy to the solver with the
-// functional inputs fixed to the DIP and the key pins aliased to the
-// given key variables. It returns the output variables.
-func encodeConstrainedCopy(solver *sat.Solver, locked *netlist.Netlist, funcPos, keyPos []int, keyVars []cnf.Var, dip []bool) ([]cnf.Var, error) {
-	enc := cnf.NewEncoder()
-	enc.F.NumVars = solver.NumVars() // continue the variable space
+// constrainDIP adds the two constrained circuit copies of one DIP
+// iteration: each key copy must reproduce the oracle's response on the
+// distinguishing input.
+func constrainDIP(eng sat.Engine, tmpl *cnf.Template, funcPos, keyPos []int, key1, key2 []cnf.Var, dip, out []bool) error {
+	for _, keyVars := range [][]cnf.Var{key1, key2} {
+		outs, err := stampConstrainedCopy(eng, tmpl, funcPos, keyPos, keyVars, dip)
+		if err != nil {
+			return err
+		}
+		for i, ov := range outs {
+			eng.AddClause(cnf.MkLit(ov, !out[i]))
+		}
+	}
+	return nil
+}
+
+// stampConstrainedCopy stamps one circuit copy from the template with
+// the functional inputs fixed to the DIP and the key pins aliased to
+// the given key variables. It returns the output variables. The stamp
+// reproduces exactly the variable and clause stream the per-iteration
+// Tseitin encoder historically produced, minus the encoding work.
+func stampConstrainedCopy(dst cnf.ClauseSink, tmpl *cnf.Template, funcPos, keyPos []int, keyVars []cnf.Var, dip []bool) ([]cnf.Var, error) {
 	shared := make(map[int]cnf.Var, len(keyPos))
 	for i, p := range keyPos {
 		shared[p] = keyVars[i]
 	}
-	gv, err := enc.Encode(locked, shared)
-	if err != nil {
-		return nil, err
+	gv, ok := tmpl.Stamp(dst, shared)
+	if !ok {
+		return nil, fmt.Errorf("attack: DIP constraint made formula unsatisfiable")
 	}
 	for i, p := range funcPos {
-		enc.AssertLit(cnf.MkLit(gv.Inputs[p], !dip[i]))
-	}
-	if !solver.AddFormula(enc.F) {
-		return nil, fmt.Errorf("attack: DIP constraint made formula unsatisfiable")
+		if !dst.AddClause(cnf.MkLit(gv.Inputs[p], !dip[i])) {
+			return nil, fmt.Errorf("attack: DIP constraint made formula unsatisfiable")
+		}
 	}
 	outs := make([]cnf.Var, len(gv.Outputs))
 	copy(outs, gv.Outputs)

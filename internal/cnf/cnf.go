@@ -72,14 +72,17 @@ func (f *Formula) NewVar() Var {
 }
 
 // AddClause appends a clause. Literals referencing unseen variables
-// grow the variable count.
-func (f *Formula) AddClause(lits ...Lit) {
+// grow the variable count. The return value is always true — a bare
+// formula cannot detect unsatisfiability — and exists so *Formula
+// satisfies ClauseSink alongside the CDCL solver.
+func (f *Formula) AddClause(lits ...Lit) bool {
 	for _, l := range lits {
 		if int(l.Var()) >= f.NumVars {
 			f.NumVars = int(l.Var()) + 1
 		}
 	}
 	f.Clauses = append(f.Clauses, append([]Lit(nil), lits...))
+	return true
 }
 
 // NumClauses returns the clause count.

@@ -1,0 +1,110 @@
+package cnf
+
+import (
+	"repro/internal/netlist"
+)
+
+// ClauseSink is the incremental target a Template stamps clauses
+// into. Both *Formula and the CDCL solver (and its portfolio) satisfy
+// it; AddClause reports false when the sink has derived a top-level
+// contradiction (always true for a bare Formula).
+type ClauseSink interface {
+	NewVar() Var
+	AddClause(lits ...Lit) bool
+}
+
+// Template is a netlist compiled to CNF once, ready to be stamped
+// into a solver many times. The SAT attack's DIP loop adds two fresh
+// constrained circuit copies per iteration; without a template each
+// copy re-runs topological ordering and gate-by-gate Tseitin encoding
+// of the whole netlist, which PR-4-scale profiling shows is pure
+// re-computation — the clauses are identical up to variable renaming.
+// Compile captures the encoder's exact variable-allocation and clause
+// order, so a Stamp produces the same variable numbering and clause
+// stream the Encoder would, bit for bit: solver behaviour (and
+// therefore journal replay) is unchanged, only the per-iteration
+// encoding cost drops to a renamed copy.
+type Template struct {
+	f         *Formula // compiled image; variables are slot ids 0..NumVars-1
+	inputs    []Var    // input position -> slot
+	outputs   []Var    // output position -> slot
+	gateSlots []Var    // gate id -> slot
+	inputSlot []int    // slot -> input position, or -1 for internal slots
+}
+
+// CompileTemplate encodes the netlist once and returns the reusable
+// template. The error cases are the Encoder's (combinational cycles,
+// unsupported gate types).
+func CompileTemplate(n *netlist.Netlist) (*Template, error) {
+	enc := NewEncoder()
+	gv, err := enc.Encode(n, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{
+		f:         enc.F,
+		inputs:    gv.Inputs,
+		outputs:   gv.Outputs,
+		gateSlots: gv.Vars,
+		inputSlot: make([]int, enc.F.NumVars),
+	}
+	for i := range t.inputSlot {
+		t.inputSlot[i] = -1
+	}
+	for pos, slot := range gv.Inputs {
+		t.inputSlot[slot] = pos
+	}
+	return t, nil
+}
+
+// NumVars returns the number of template slots (fresh variables one
+// unshared stamp allocates).
+func (t *Template) NumVars() int { return t.f.NumVars }
+
+// NumClauses returns the clause count of one stamped copy.
+func (t *Template) NumClauses() int { return t.f.NumClauses() }
+
+// Stamp adds one copy of the compiled netlist to the sink. As with
+// Encoder.Encode, shared maps an input position to an existing
+// variable reused for that input; every other slot gets a fresh sink
+// variable, allocated in compile order so the resulting variable
+// numbering and clause stream match what the Encoder would have
+// produced. ok is false when the sink reported a top-level
+// contradiction mid-stamp (the returned GateVars is then incomplete).
+func (t *Template) Stamp(dst ClauseSink, shared map[int]Var) (gv *GateVars, ok bool) {
+	vmap := make([]Var, t.f.NumVars)
+	for slot := 0; slot < t.f.NumVars; slot++ {
+		if p := t.inputSlot[slot]; p >= 0 {
+			if v, isShared := shared[p]; isShared {
+				vmap[slot] = v
+				continue
+			}
+		}
+		vmap[slot] = dst.NewVar()
+	}
+	buf := make([]Lit, 0, 8)
+	for _, c := range t.f.Clauses {
+		buf = buf[:0]
+		for _, l := range c {
+			buf = append(buf, MkLit(vmap[l.Var()], l.Neg()))
+		}
+		if !dst.AddClause(buf...) {
+			return nil, false
+		}
+	}
+	gv = &GateVars{
+		Vars:    make([]Var, len(t.gateSlots)),
+		Inputs:  make([]Var, len(t.inputs)),
+		Outputs: make([]Var, len(t.outputs)),
+	}
+	for id, slot := range t.gateSlots {
+		gv.Vars[id] = vmap[slot]
+	}
+	for i, slot := range t.inputs {
+		gv.Inputs[i] = vmap[slot]
+	}
+	for i, slot := range t.outputs {
+		gv.Outputs[i] = vmap[slot]
+	}
+	return gv, true
+}

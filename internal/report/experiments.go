@@ -38,6 +38,11 @@ type AttackConfig struct {
 	// re-running that table from scratch.
 	CheckpointDir string
 	Resume        bool
+	// Portfolio, when >= 2, races that many diversified CDCL workers
+	// per solver call in the attack tables (see attack.SATOptions).
+	// Runtimes become trace-nondeterministic; DIP/query counts may vary
+	// between runs, the verdicts do not.
+	Portfolio int
 }
 
 // DefaultAttackConfig is sized for an interactive run.
@@ -139,7 +144,7 @@ func lockAndAttack(ctx context.Context, orig *netlist.Netlist, blocks int, size 
 		return nil, err
 	}
 	return attack.SATAttack(res.Locked, res.KeyInputPos, oracle,
-		attack.SATOptions{Timeout: cfg.Timeout, Context: ctx})
+		attack.SATOptions{Timeout: cfg.Timeout, Context: ctx, Portfolio: cfg.Portfolio})
 }
 
 // Table1 reproduces paper Table I: SAT-attack runtime for c7552 locked

@@ -1,0 +1,125 @@
+package sat
+
+// Config tunes the CDCL search heuristics. The zero value is not
+// meaningful; start from DefaultConfig. Every knob here changes only
+// the *order* in which the search explores the space, never the
+// verdict: two solvers with different Configs agree on SAT/UNSAT for
+// every formula (the portfolio relies on exactly this).
+type Config struct {
+	// Seed seeds the solver's private PRNG (random decisions and
+	// nothing else). The default matches the historical fixed seed, so
+	// New() stays bit-for-bit deterministic across versions.
+	Seed int64
+	// RandomFreq is the probability of a random decision instead of
+	// the VSIDS pick, diversifying the search.
+	RandomFreq float64
+	// VarDecay is the VSIDS activity decay factor per conflict
+	// (activity increment grows by 1/VarDecay).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay per conflict.
+	ClauseDecay float64
+	// RestartUnit scales the Luby restart sequence (conflicts allowed
+	// before the first restart).
+	RestartUnit int64
+	// InvertPhase flips the initial phase-saving polarity: solvers
+	// that default to "true" explore the opposite half-space first.
+	InvertPhase bool
+	// ShareLBDCap bounds the LBD of learnt clauses a portfolio worker
+	// exports to its clause exchange; 0 uses DefaultShareLBDCap.
+	// Ignored outside a portfolio.
+	ShareLBDCap int32
+}
+
+// DefaultShareLBDCap is the learnt-clause quality bar for portfolio
+// clause sharing: only clauses whose literals span at most this many
+// decision levels (glue-ish clauses) are worth the import cost.
+const DefaultShareLBDCap = 6
+
+// DefaultConfig reproduces the historical solver behaviour exactly:
+// New() == NewWithConfig(DefaultConfig()).
+func DefaultConfig() Config {
+	return Config{
+		Seed:        91648253,
+		RandomFreq:  0.02,
+		VarDecay:    0.95,
+		ClauseDecay: 0.999,
+		RestartUnit: 128,
+		ShareLBDCap: DefaultShareLBDCap,
+	}
+}
+
+// diverseProfiles are the seven worker strategies a portfolio cycles
+// through after the default worker 0. They deliberately span a much
+// wider range than mild jitter around the defaults: model hunters
+// (tiny restart units, high random-decision rates, inverted phase)
+// have heavy-tailed but sometimes very short runtimes on satisfiable
+// calls, while provers (long restart units, diffuse decay, no noise)
+// grind out refutations. The last two never restart in practice
+// (RestartUnit 1<<30): since foreign clauses are imported only at
+// restart boundaries, their trajectories inside a racing portfolio
+// are bit-identical to their solo runs — the portfolio always carries
+// two fully reproducible workers. The portfolio's value on a hard
+// call is the *minimum* over these strategies, so spread matters more
+// than mean.
+var diverseProfiles = [7]Config{
+	{RandomFreq: 0, VarDecay: 0.95, RestartUnit: 64, InvertPhase: true},      // clean VSIDS, opposite half-space
+	{RandomFreq: 0.05, VarDecay: 0.99, RestartUnit: 512},                     // diffuse prover
+	{RandomFreq: 0.2, VarDecay: 0.90, RestartUnit: 32, InvertPhase: true},    // noisy hunter
+	{RandomFreq: 0.1, VarDecay: 0.85, RestartUnit: 128},                      // focused mid
+	{RandomFreq: 0.4, VarDecay: 0.95, RestartUnit: 32, InvertPhase: true},    // wild hunter
+	{RandomFreq: 0, VarDecay: 0.99, RestartUnit: 1 << 30},                    // no-restart prover
+	{RandomFreq: 0, VarDecay: 0.99, RestartUnit: 1 << 30, InvertPhase: true}, // no-restart prover, opposite half-space
+}
+
+// DiverseConfigs returns n solver configurations for a portfolio.
+// Index 0 is DefaultConfig — the portfolio's baseline worker searches
+// exactly like the sequential solver, so a portfolio is never worse
+// than sequential by more than scheduling overhead — and later
+// indices cycle through diverseProfiles with a distinct deterministic
+// seed each. The assignment is a fixed pure function of the index:
+// the same portfolio size always races the same strategies.
+func DiverseConfigs(n int) []Config {
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		c := DefaultConfig()
+		if i > 0 {
+			p := diverseProfiles[(i-1)%len(diverseProfiles)]
+			c.RandomFreq = p.RandomFreq
+			c.VarDecay = p.VarDecay
+			c.RestartUnit = p.RestartUnit
+			c.InvertPhase = p.InvertPhase
+			// Distinct deterministic seed per worker (SplitMix64 step,
+			// matching the sweep pool's seed discipline).
+			z := uint64(c.Seed)*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9
+			z ^= z >> 30
+			z *= 0xbf58476d1ce4e5b9
+			z ^= z >> 27
+			c.Seed = int64(z &^ (1 << 63))
+		}
+		cfgs[i] = c
+	}
+	return cfgs
+}
+
+// sanitize fills unset fields with defaults so a partially specified
+// Config cannot wedge the search (e.g. a zero RestartUnit would never
+// allow a single conflict between restarts).
+func (c Config) sanitize() Config {
+	d := DefaultConfig()
+	if c.VarDecay <= 0 || c.VarDecay > 1 {
+		c.VarDecay = d.VarDecay
+	}
+	if c.ClauseDecay <= 0 || c.ClauseDecay > 1 {
+		c.ClauseDecay = d.ClauseDecay
+	}
+	if c.RestartUnit <= 0 {
+		c.RestartUnit = d.RestartUnit
+	}
+	if c.RandomFreq < 0 || c.RandomFreq >= 1 {
+		c.RandomFreq = d.RandomFreq
+	}
+	if c.ShareLBDCap <= 0 {
+		c.ShareLBDCap = d.ShareLBDCap
+	}
+	return c
+}

@@ -1,0 +1,192 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// threeWayInstances sizes the three-way differential test: full depth
+// in a normal build, a 100-instance slice under the race detector —
+// the portfolio's goroutine churn is what the race build needs to see,
+// not a thousand repetitions of it.
+func threeWayInstances() int {
+	if raceEnabled {
+		return 100
+	}
+	return 1000
+}
+
+// TestDifferentialThreeWay cross-checks the sequential solver against
+// 2- and 8-worker portfolios on random small instances, through the
+// same incremental script as TestDifferentialVsBruteForce: base solve,
+// solve under random assumptions, clause extension, re-solve. All
+// three engines must agree with brute force on every step; every SAT
+// model is checked against the formula, and every portfolio UNSAT is
+// re-confirmed on a fresh sequential solver (no portfolio machinery —
+// imported clauses, racing — may be load-bearing for a verdict).
+func TestDifferentialThreeWay(t *testing.T) {
+	instances := threeWayInstances()
+	rng := rand.New(rand.NewSource(20260808))
+	for i := 0; i < instances; i++ {
+		nVars := 3 + rng.Intn(10) // 3..12
+		nClauses := 1 + rng.Intn(4*nVars)
+
+		f := cnf.NewFormula()
+		engines := []struct {
+			name string
+			eng  Engine
+		}{
+			{"sequential", New()},
+			{"portfolio2", NewPortfolio(2)},
+			{"portfolio8", NewPortfolio(8)},
+		}
+		for v := 0; v < nVars; v++ {
+			f.NewVar()
+			for _, e := range engines {
+				e.eng.NewVar()
+			}
+		}
+		for c := 0; c < nClauses; c++ {
+			lits := diffRandClause(rng, nVars)
+			f.AddClause(lits...)
+			for _, e := range engines {
+				e.eng.AddClause(lits...)
+			}
+		}
+
+		check := func(stage string, assumptions []cnf.Lit) {
+			t.Helper()
+			want := diffBruteForce(f, nVars, assumptions)
+			for _, e := range engines {
+				got := e.eng.Solve(assumptions...)
+				if (got == Sat) != want || got == Unknown {
+					t.Fatalf("instance %d, %s: %s says %v, brute force says sat=%v",
+						i, stage, e.name, got, want)
+				}
+				if got == Sat {
+					m := e.eng.Model()
+					if !f.Eval(m[:nVars]) {
+						t.Fatalf("instance %d, %s: %s model does not satisfy formula", i, stage, e.name)
+					}
+					for _, a := range assumptions {
+						if m[a.Var()] == a.Neg() {
+							t.Fatalf("instance %d, %s: %s model violates assumption %v", i, stage, e.name, a)
+						}
+					}
+				}
+			}
+			if !want {
+				s := New()
+				s.AddFormula(f)
+				if st := s.Solve(assumptions...); st != Unsat {
+					t.Fatalf("instance %d, %s: fresh sequential re-confirmation says %v, want Unsat", i, stage, st)
+				}
+			}
+		}
+
+		check("base", nil)
+
+		nAssume := 1 + rng.Intn(3)
+		seen := make(map[cnf.Var]bool, nAssume)
+		var assumptions []cnf.Lit
+		for len(assumptions) < nAssume {
+			v := cnf.Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			assumptions = append(assumptions, cnf.MkLit(v, rng.Intn(2) == 0))
+		}
+		check("assumptions", assumptions)
+
+		extra := diffRandClause(rng, nVars)
+		f.AddClause(extra...)
+		for _, e := range engines {
+			e.eng.AddClause(extra...)
+		}
+		check("extended", nil)
+	}
+}
+
+// TestPortfolioStatsSumOfParts pins the aggregation contract: after
+// any sequence of solves the portfolio's Stats equal the field-wise
+// sum (MaxDepth: max) of its workers' stats — no counter is lost or
+// double-counted by the racing.
+func TestPortfolioStatsSumOfParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := NewPortfolio(4)
+	const nVars = 30
+	for v := 0; v < nVars; v++ {
+		p.NewVar()
+	}
+	for round := 0; round < 5; round++ {
+		for c := 0; c < 30; c++ {
+			p.AddClause(diffRandClause(rng, nVars)...)
+		}
+		p.Solve()
+
+		var sum Stats
+		for _, ws := range p.WorkerStats() {
+			sum.Add(ws)
+		}
+		if got := p.Stats(); got != sum {
+			t.Fatalf("round %d: aggregate stats %+v != sum of workers %+v", round, got, sum)
+		}
+	}
+	if p.Stats().Propagations == 0 && p.Stats().Decisions == 0 {
+		t.Fatal("no solver work recorded; instances too trivial for the regression")
+	}
+}
+
+// TestStatsAdd pins the field semantics of Stats.Add: counters sum,
+// MaxDepth takes the maximum.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Decisions: 1, Propagations: 2, Conflicts: 3, Restarts: 4,
+		Learnt: 5, Removed: 6, MaxDepth: 7, Exported: 8, Imported: 9}
+	b := Stats{Decisions: 10, Propagations: 20, Conflicts: 30, Restarts: 40,
+		Learnt: 50, Removed: 60, MaxDepth: 3, Exported: 80, Imported: 90}
+	a.Add(b)
+	want := Stats{Decisions: 11, Propagations: 22, Conflicts: 33, Restarts: 44,
+		Learnt: 55, Removed: 66, MaxDepth: 7, Exported: 88, Imported: 99}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+// TestPortfolioSharingObserved solves an instance hard enough for the
+// workers to learn and publish clauses, then checks the exchange
+// counters actually moved — guarding against the sharing hooks
+// silently rotting into dead code.
+func TestPortfolioSharingObserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	p := NewPortfolio(4)
+	const nVars = 60
+	for v := 0; v < nVars; v++ {
+		p.NewVar()
+	}
+	// ~4.2 clause/var random 3-SAT: hard enough to force conflicts and
+	// restarts (where import happens) at this size.
+	for c := 0; c < 4*nVars+nVars/5; c++ {
+		var lits []cnf.Lit
+		seen := map[cnf.Var]bool{}
+		for len(lits) < 3 {
+			v := cnf.Var(rng.Intn(nVars))
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			lits = append(lits, cnf.MkLit(v, rng.Intn(2) == 0))
+		}
+		p.AddClause(lits...)
+	}
+	if st := p.Solve(); st == Unknown {
+		t.Fatalf("solve returned %v", st)
+	}
+	if p.Stats().Exported == 0 {
+		t.Fatal("no clauses exported: sharing hooks are dead")
+	}
+	// Import is opportunistic (it happens at restarts), so it is not
+	// asserted > 0: a worker may win before its first restart.
+}

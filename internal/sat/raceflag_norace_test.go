@@ -1,0 +1,7 @@
+//go:build !race
+
+package sat
+
+// raceEnabled reports that this test binary was built with the race
+// detector; heavyweight differential tests run a reduced slice.
+const raceEnabled = false

@@ -48,6 +48,28 @@ type Stats struct {
 	Learnt       int64 `json:"learnt"`
 	Removed      int64 `json:"removed"`
 	MaxDepth     int   `json:"max_depth"` // deepest decision level reached
+	// Portfolio clause sharing: learnt clauses published to / adopted
+	// from the exchange. Zero for a sequential solver, so snapshots
+	// written by older versions compare equal.
+	Exported int64 `json:"exported,omitempty"`
+	Imported int64 `json:"imported,omitempty"`
+}
+
+// Add accumulates other into st field-wise; MaxDepth takes the max
+// (it is a high-water mark, not a counter). This is the portfolio's
+// aggregation rule: the parent's Stats are the sum of its workers'.
+func (st *Stats) Add(other Stats) {
+	st.Decisions += other.Decisions
+	st.Propagations += other.Propagations
+	st.Conflicts += other.Conflicts
+	st.Restarts += other.Restarts
+	st.Learnt += other.Learnt
+	st.Removed += other.Removed
+	st.Exported += other.Exported
+	st.Imported += other.Imported
+	if other.MaxDepth > st.MaxDepth {
+		st.MaxDepth = other.MaxDepth
+	}
 }
 
 const (
@@ -97,19 +119,34 @@ type Solver struct {
 	model []bool
 
 	rng        *rand.Rand
+	cfg        Config
 	stats      Stats
 	deadline   time.Time
 	confBudget int64           // remaining conflicts allowed; <0 means unlimited
 	ctx        context.Context // optional cancellation; nil means none
+
+	// Portfolio clause sharing (nil outside a portfolio).
+	exch       *ClauseExchange
+	exchID     int
+	exchCursor uint64
+	exchBuf    []SharedClause // reusable collect scratch
 }
 
-// New returns an empty solver.
-func New() *Solver {
+// New returns an empty solver with the default (historical) search
+// configuration.
+func New() *Solver { return NewWithConfig(DefaultConfig()) }
+
+// NewWithConfig returns an empty solver searching under cfg. The
+// configuration affects heuristic order only, never verdicts; a given
+// (config, clause sequence) pair is fully deterministic.
+func NewWithConfig(cfg Config) *Solver {
+	cfg = cfg.sanitize()
 	s := &Solver{
 		varInc:     1,
 		claInc:     1,
 		okay:       true,
-		rng:        rand.New(rand.NewSource(91648253)),
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		confBudget: -1,
 	}
 	s.heap = newVarHeap(&s.activity)
@@ -122,7 +159,7 @@ func (s *Solver) NewVar() cnf.Var {
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, -1)
-	s.polarity = append(s.polarity, true) // default phase: false (neg)
+	s.polarity = append(s.polarity, !s.cfg.InvertPhase) // initial phase
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
@@ -437,7 +474,7 @@ func (s *Solver) computeLBD(lits []cnf.Lit) int32 {
 
 func (s *Solver) pickBranchLit() cnf.Lit {
 	// Occasional random decision diversifies the search.
-	if s.rng.Float64() < 0.02 {
+	if s.cfg.RandomFreq > 0 && s.rng.Float64() < s.cfg.RandomFreq {
 		v := cnf.Var(s.rng.Intn(len(s.assigns)))
 		if s.assigns[v] == lUndef {
 			return cnf.MkLit(v, !s.polarity[v])
@@ -593,9 +630,15 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 	var restarts int64
 	checkCounter := 0
 
+	// Foreign shared clauses are adopted only at restart boundaries
+	// (and by Portfolio.Solve before the race starts, in the parent):
+	// a worker that never restarts keeps a trajectory that is a pure
+	// function of its config and the clause database, untouched by the
+	// race's scheduling.
+
 	//rilvet:ignore ctx-loop cancellation is handled inside search via s.aborted(), which polls the deadline, conflict budget and SetContext context every few thousand conflicts
 	for {
-		budget := luby(restarts) * 128
+		budget := luby(restarts) * s.cfg.RestartUnit
 		st := s.search(budget, &checkCounter)
 		if st != Unknown {
 			return st
@@ -607,7 +650,74 @@ func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
 		restarts++
 		s.stats.Restarts++
 		s.cancelUntil(0)
+		// Restart boundary: the trail is back at level 0, the cheapest
+		// moment to adopt foreign learnt clauses.
+		if !s.importShared() {
+			s.okay = false
+			return Unsat
+		}
 	}
+}
+
+// SetExchange attaches the solver to a portfolio clause exchange as
+// reader/writer id. Learnt clauses with LBD at most the config's
+// ShareLBDCap are published; foreign clauses are adopted at restart
+// boundaries. Must be called before the first Solve.
+func (s *Solver) SetExchange(x *ClauseExchange, id int) {
+	s.exch = x
+	s.exchID = id
+	s.exchCursor = x.Cursor()
+}
+
+// importShared adopts every foreign shared clause published since the
+// last import. It must be called at decision level 0. It reports
+// false when an adopted clause produced a top-level conflict — the
+// formula is UNSAT (shared clauses are logical consequences of the
+// common clause database, so the verdict is sound).
+func (s *Solver) importShared() bool {
+	if s.exch == nil {
+		return true
+	}
+	s.exchCursor, s.exchBuf = s.exch.Collect(s.exchID, s.exchCursor, s.exchBuf[:0])
+	for _, sc := range s.exchBuf {
+		if !s.importClause(sc.Lits, sc.LBD) {
+			return false
+		}
+	}
+	return true
+}
+
+// importClause adds one foreign learnt clause at decision level 0,
+// simplifying against the level-0 trail. It reports false on a
+// top-level conflict. Shared clauses come out of another worker's
+// conflict analysis, so they contain no duplicate or complementary
+// literals.
+func (s *Solver) importClause(lits []cnf.Lit, lbd int32) bool {
+	if !s.okay {
+		return false
+	}
+	norm := make([]cnf.Lit, 0, len(lits))
+	for _, l := range lits {
+		s.ensureVar(l.Var())
+		switch s.litValue(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		norm = append(norm, l)
+	}
+	s.stats.Imported++
+	switch len(norm) {
+	case 0:
+		return false
+	case 1:
+		s.uncheckedEnqueue(norm[0], -1)
+		return s.propagate() < 0
+	}
+	cref := s.attachClause(norm, true)
+	s.clauses[cref].lbd = lbd
+	return true
 }
 
 func (s *Solver) aborted() bool {
@@ -648,15 +758,24 @@ func (s *Solver) search(nConflicts int64, checkCounter *int) Status {
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], -1)
+				if s.exch != nil {
+					s.exch.Publish(s.exchID, 1, learnt)
+					s.stats.Exported++
+				}
 			} else {
 				cref := s.attachClause(learnt, true)
-				s.clauses[cref].lbd = s.computeLBD(learnt)
+				lbd := s.computeLBD(learnt)
+				s.clauses[cref].lbd = lbd
 				s.bumpClause(&s.clauses[cref])
 				s.uncheckedEnqueue(learnt[0], int32(cref))
+				if s.exch != nil && lbd <= s.cfg.ShareLBDCap {
+					s.exch.Publish(s.exchID, lbd, learnt)
+					s.stats.Exported++
+				}
 			}
 			s.stats.Learnt++
-			s.varInc /= 0.95
-			s.claInc /= 0.999
+			s.varInc /= s.cfg.VarDecay
+			s.claInc /= s.cfg.ClauseDecay
 			if float64(s.learntCnt) > s.maxLearnt {
 				s.reduceDB()
 				s.maxLearnt *= 1.1
@@ -721,8 +840,14 @@ func SolveFormula(f *cnf.Formula, deadline time.Time) (Status, []bool) {
 	return st, s.model
 }
 
-// String summarizes stats.
+// String summarizes stats. The clause-sharing counters only appear
+// when a portfolio actually exchanged clauses, so sequential output
+// is unchanged.
 func (st Stats) String() string {
-	return fmt.Sprintf("decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d maxdepth=%d",
+	s := fmt.Sprintf("decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d removed=%d maxdepth=%d",
 		st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learnt, st.Removed, st.MaxDepth)
+	if st.Exported != 0 || st.Imported != 0 {
+		s += fmt.Sprintf(" exported=%d imported=%d", st.Exported, st.Imported)
+	}
+	return s
 }
