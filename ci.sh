@@ -7,9 +7,10 @@
 # — determinism, durability and concurrency invariants over the repo's
 # own Go source, with a SARIF artifact, a self-lint check and a
 # deliberately-broken fixture proving the gate bites), build, tests
-# under the race detector, a doubled -race pass over the sweep runner
-# (scheduling-sensitive), a coverage gate on the checkpoint-bearing
-# packages, a benchmark smoke that also emits BENCH_8.json (oracle
+# under the race detector, doubled -race passes over the sweep runner
+# and the result cache (both scheduling-sensitive), a coverage gate on
+# the checkpoint-bearing packages plus the result cache, a benchmark
+# smoke that also emits BENCH_8.json (oracle
 # fast path, miter template stamping, portfolio solve), a portfolio
 # gate (three-way differential, clause exchange and portfolio-attack
 # suites under -race, plus a clause-exchange fuzz smoke), a fuzz
@@ -20,9 +21,12 @@
 # deliberately broken netlists (combinational cycle, dead key bit)
 # must be rejected with the right analyzer named, and the planted
 # redundant-key fixture must be caught by the audit with the right
-# effective key length — and finally a kill-and-resume smoke: a
-# checkpointed attack sweep is SIGKILLed mid-run, resumed, and must
-# end with a complete manifest.
+# effective key length — a kill-and-resume smoke: a checkpointed
+# attack sweep is SIGKILLed mid-run, resumed, and must end with a
+# complete manifest — and finally the result-cache gate: the same
+# report sweep runs cold then warm against one -cache-dir, the warm
+# run must be byte-identical, all hits and at least 5x faster, with
+# the timings published as BENCH_9.json.
 set -eu
 
 echo "== gofmt =="
@@ -71,8 +75,14 @@ go test -race ./...
 echo "== sweep runner under -race, doubled =="
 go test -race -count=2 ./internal/sweep/
 
-echo "== coverage gate (internal/attack, internal/sweep >= 70%) =="
-for pkg in ./internal/attack/ ./internal/sweep/; do
+echo "== result cache under -race, doubled =="
+# Get/Put/GC hammer across goroutines plus racing first Opens; doubled
+# because the failure mode (GC deleting a live writer's staged temp)
+# is scheduling-sensitive.
+go test -race -count=2 ./internal/cache/
+
+echo "== coverage gate (internal/attack, internal/sweep, internal/cache >= 70%) =="
+for pkg in ./internal/attack/ ./internal/sweep/ ./internal/cache/; do
     cov=$(go test -cover "$pkg" | awk '/coverage:/ { sub("%", "", $(NF-2)); print $(NF-2) }')
     if [ -z "$cov" ]; then
         echo "ci: could not read coverage for $pkg" >&2
@@ -123,6 +133,9 @@ done
 go test ./internal/attack/ -run='^$' -fuzz='^FuzzJournalReplay$' -fuzztime=10s
 go test ./internal/netlint/ -run='^$' -fuzz='^FuzzResilienceAnalyzers$' -fuzztime=10s
 go test ./internal/golint/ -run='^$' -fuzz='^FuzzSuppressionParse$' -fuzztime=10s
+for target in FuzzCacheKeyCanonical FuzzCacheEntryDecode; do
+    go test ./internal/cache/ -run='^$' -fuzz="^${target}\$" -fuzztime=10s
+done
 
 echo "== netlint: checked-in benchmarks =="
 go run ./cmd/netlint testdata/...
@@ -219,5 +232,51 @@ if [ "$done_count" != 2 ]; then
     exit 1
 fi
 echo "ci: kill-and-resume manifest complete (2/2 done)"
+
+echo "== result-cache gate: cold vs warm report sweep (BENCH_9.json) =="
+# The same SAT-runtime sweep (c17 from testdata plus synthesized c432,
+# 2 block counts x 3 sizes = 12 attack cells) runs twice against one
+# cache directory. The warm run must print byte-identical tables, be
+# answered entirely from authenticated cache entries (12 hits, 0
+# misses) and finish at least 5x faster than the cold run.
+go build -o "$tmp/rilbench" ./cmd/rilbench
+cache_dir="$tmp/rilcache"
+bench_cmd() {
+    "$tmp/rilbench" -exp satruntime -circuit testdata/c17.bench,c432 \
+        -counts 1,2 -timeout 2s -seed 3 -cache-dir "$cache_dir" \
+        > "$tmp/cache_$1.out" 2> "$tmp/cache_$1.err"
+}
+t0=$(date +%s%N)
+bench_cmd cold
+t1=$(date +%s%N)
+bench_cmd warm
+t2=$(date +%s%N)
+cold_ms=$(( (t1 - t0) / 1000000 ))
+warm_ms=$(( (t2 - t1) / 1000000 ))
+[ "$warm_ms" -gt 0 ] || warm_ms=1
+cmp -s "$tmp/cache_cold.out" "$tmp/cache_warm.out" || {
+    echo "ci: warm sweep output differs from cold sweep output" >&2
+    diff "$tmp/cache_cold.out" "$tmp/cache_warm.out" >&2 || true
+    exit 1
+}
+# "rilbench: cache: H hits, M misses (I invalidated), ..." on stderr.
+set -- $(awk -F'cache: ' '/rilbench: cache:/ { print $2 }' "$tmp/cache_warm.err" \
+    | awk '{ gsub(",", ""); print $1, $3 }')
+warm_hits=${1:-0}
+warm_misses=${2:-mis}
+if [ "$warm_hits" != 12 ] || [ "$warm_misses" != 0 ]; then
+    echo "ci: warm sweep was not answered from cache ($warm_hits hits, $warm_misses misses):" >&2
+    cat "$tmp/cache_warm.err" >&2
+    exit 1
+fi
+speedup=$(awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { printf "%.1f", c / w }')
+printf '{\n  "name": "satruntime-c17-c432-cache",\n  "cold_ms": %s,\n  "warm_ms": %s,\n  "speedup": %s,\n  "warm_hits": %s,\n  "warm_misses": %s,\n  "hit_rate": 1.0\n}\n' \
+    "$cold_ms" "$warm_ms" "$speedup" "$warm_hits" "$warm_misses" > BENCH_9.json
+echo "ci: cold ${cold_ms}ms, warm ${warm_ms}ms (${speedup}x, ${warm_hits}/12 hits) -> BENCH_9.json"
+ok=$(awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { print (c >= 5 * w) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ci: warm sweep only ${speedup}x faster than cold (gate: 5x)" >&2
+    exit 1
+fi
 
 echo "ci: all checks passed"

@@ -9,19 +9,35 @@
 //	locker -in c7552.bench -scheme xor -keybits 32 -out locked.bench
 //
 // Schemes: ril, lut, xor, sarlock, antisat, sfll, caslock, meso.
+//
+// -cache-dir memoizes the locked artifact (netlist + key + overhead
+// note) in the authenticated result cache, keyed by the input netlist
+// bytes and every locking option; only artifacts that passed the
+// netlint emit gate are ever stored. -no-cache bypasses the cache,
+// -cache-max caps the size GC enforces on exit.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/baselines"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/netlint"
 	"repro/internal/netlist"
 )
+
+// lockedArtifact is the cacheable outcome of one locker invocation.
+type lockedArtifact struct {
+	Bench string   `json:"bench"`           // locked netlist, .bench text
+	Key   []string `json:"key"`             // "name=bit" lines in key order
+	Extra string   `json:"extra,omitempty"` // overhead note for stderr
+}
 
 func main() {
 	var (
@@ -37,19 +53,54 @@ func main() {
 		scan    = flag.Bool("scan", false, "add scan-enable obfuscation (ril only)")
 		nolint  = flag.Bool("nolint", false, "emit the locked netlist even when netlint finds Error-level defects")
 	)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "locker: -in is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	raw, err := os.ReadFile(*in)
 	if err != nil {
 		fail(err)
 	}
-	orig, err := netlist.ParseBench(*in, f)
-	f.Close()
+	orig, err := netlist.ParseBench(*in, bytes.NewReader(raw))
 	if err != nil {
 		fail(err)
+	}
+
+	c, err := cacheFlags.Open()
+	if err != nil {
+		fail(err)
+	}
+	var ck cache.Key
+	if c != nil {
+		ck, err = cache.NewKey("locker-artifact").
+			Bytes("input", raw).
+			Options("opts", map[string]any{
+				"scheme": *scheme, "size": *size, "blocks": *blocks,
+				"keybits": *keybits, "hd": *hd, "seed": *seed,
+				"scan": *scan, "nolint": *nolint,
+			}).
+			Key()
+		if err != nil {
+			fail(err)
+		}
+	}
+	if ck.Valid() {
+		if hit, ok := c.Get(ck); ok {
+			var art lockedArtifact
+			if err := json.Unmarshal(hit, &art); err == nil {
+				// Stored artifacts passed the netlint emit gate when they
+				// were computed, so the gate does not need to re-run.
+				fmt.Fprintln(os.Stderr, "locker: artifact served from cache")
+				if err := emit(&art, *out, *keyout); err != nil {
+					fail(err)
+				}
+				closeCache(&cacheFlags, c)
+				return
+			}
+		}
 	}
 
 	locked, keyPos, key, lintOpts, extra, err := lock(orig, *scheme, *size, *blocks, *keybits, *hd, *seed, *scan)
@@ -79,52 +130,85 @@ func main() {
 		fmt.Fprintf(os.Stderr, "locker: effective key length %d of %d nominal bits\n", kr.Effective, kr.Nominal)
 	}
 
-	w := os.Stdout
-	var of *os.File
-	if *out != "" {
-		of, err = os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		w = of
-	}
-	if err := locked.WriteBench(w); err != nil {
+	var bench bytes.Buffer
+	if err := locked.WriteBench(&bench); err != nil {
 		fail(err)
 	}
-	if of != nil {
-		if err := of.Close(); err != nil {
-			fail(err)
-		}
-	}
-
-	kw := os.Stderr
-	var kf *os.File
-	if *keyout != "" {
-		kf, err = os.Create(*keyout)
-		if err != nil {
-			fail(err)
-		}
-		kw = kf
-	}
-	bw := bufio.NewWriter(kw)
+	art := &lockedArtifact{Bench: bench.String(), Extra: extra}
 	for i, pos := range keyPos {
 		name := locked.Gates[locked.Inputs[pos]].Name
 		bit := 0
 		if key[i] {
 			bit = 1
 		}
-		fmt.Fprintf(bw, "%s=%d\n", name, bit)
+		art.Key = append(art.Key, fmt.Sprintf("%s=%d", name, bit))
+	}
+	// Only lint-clean (or explicitly -nolint) artifacts reach this
+	// point, so everything stored is safe to re-emit without re-linting.
+	if ck.Valid() {
+		if raw, err := json.Marshal(art); err == nil {
+			_ = c.Put(ck, raw)
+		}
+	}
+	if err := emit(art, *out, *keyout); err != nil {
+		fail(err)
+	}
+	closeCache(&cacheFlags, c)
+}
+
+// emit writes the locked netlist to out (default stdout) and the key
+// lines to keyout (default stderr), then the overhead note.
+func emit(art *lockedArtifact, out, keyout string) error {
+	w := os.Stdout
+	var of *os.File
+	var err error
+	if out != "" {
+		of, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		w = of
+	}
+	if _, err := w.WriteString(art.Bench); err != nil {
+		return err
+	}
+	if of != nil {
+		if err := of.Close(); err != nil {
+			return err
+		}
+	}
+
+	kw := os.Stderr
+	var kf *os.File
+	if keyout != "" {
+		kf, err = os.Create(keyout)
+		if err != nil {
+			return err
+		}
+		kw = kf
+	}
+	bw := bufio.NewWriter(kw)
+	for _, line := range art.Key {
+		fmt.Fprintln(bw, line)
 	}
 	if err := bw.Flush(); err != nil {
-		fail(err)
+		return err
 	}
 	if kf != nil {
 		if err := kf.Close(); err != nil {
-			fail(err)
+			return err
 		}
 	}
-	if extra != "" {
-		fmt.Fprintln(os.Stderr, extra)
+	if art.Extra != "" {
+		fmt.Fprintln(os.Stderr, art.Extra)
+	}
+	return nil
+}
+
+// closeCache runs exit-time cache GC and prints the counters.
+func closeCache(f *cache.Flags, c *cache.Cache) {
+	if err := f.Close(c, os.Stderr, "locker"); err != nil {
+		fmt.Fprintln(os.Stderr, "locker: cache gc:", err)
 	}
 }
 

@@ -4,7 +4,13 @@
 //
 //	rilbench -exp table1 [-timeout 5s] [-scale 0.25] [-counts 1,2,3]
 //	rilbench -exp table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip
+//	rilbench -exp satruntime -circuit c432,testdata/c17.bench [-counts 1,2]
 //	rilbench -exp all
+//
+// Pass -cache-dir to memoize attack-table cells in the authenticated
+// result cache: a repeated run with identical inputs is served from
+// disk without re-running oracles or solvers (-no-cache bypasses,
+// -cache-max caps the size GC enforces on exit).
 //
 // Runtimes are scaled: the paper used a 5-day timeout on full-size
 // benchmarks; pass -scale 1.0 -timeout 120h to approximate that run.
@@ -20,12 +26,15 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/circuit"
+	"repro/internal/netlist"
 	"repro/internal/report"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|ablation|dynamic|audit|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table2|table3|table4|table5|fig1|fig5|fig6|overhead|psca|dip|satruntime|ablation|dynamic|audit|all")
 		timeout = flag.Duration("timeout", 2*time.Second, "SAT-attack timeout per run (paper: 120h)")
 		jobs    = flag.Int("jobs", 0, "parallel attack workers per experiment (0 = all CPUs, 1 = sequential)")
 		scale   = flag.Float64("scale", 0.25, "benchmark circuit scale in (0,1]")
@@ -39,7 +48,10 @@ func main() {
 		ckptDir = flag.String("checkpoint-dir", "", "persist per-table sweep manifests under this directory")
 		resume  = flag.Bool("resume", false, "resume from -checkpoint-dir: skip table cells already recorded done")
 		pfolio  = flag.Int("portfolio", 1, "race N diversified CDCL workers per attack solver call (<2 = sequential)")
+		circs   = flag.String("circuit", "", "comma-separated circuits for -exp satruntime: ISCAS profile names and/or .bench file paths")
 	)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
 		fmt.Fprintln(os.Stderr, "rilbench: -resume requires -checkpoint-dir")
@@ -59,10 +71,19 @@ func main() {
 		}
 		*d.dest = d.dir
 	}
-	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs,
-		CheckpointDir: *ckptDir, Resume: *resume, Portfolio: *pfolio}
-	if err := run(*exp, cfg, *counts, *mc, *traces); err != nil {
+	c, err := cacheFlags.Open()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
+		os.Exit(1)
+	}
+	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs,
+		CheckpointDir: *ckptDir, Resume: *resume, Portfolio: *pfolio, Cache: c}
+	runErr := run(*exp, cfg, *counts, *circs, *mc, *traces)
+	if err := cacheFlags.Close(c, os.Stderr, "rilbench"); err != nil {
+		fmt.Fprintln(os.Stderr, "rilbench: cache gc:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "rilbench:", runErr)
 		os.Exit(1)
 	}
 }
@@ -73,7 +94,7 @@ var csvOut, jsonOut string
 
 var csvSeq int
 
-func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) error {
+func run(exp string, cfg report.AttackConfig, countsCSV, circs string, mc, traces int) error {
 	show := func(t *report.Table, err error) error {
 		if err != nil {
 			return err
@@ -141,6 +162,28 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 		return show(report.OverheadTable(), nil)
 	case "psca":
 		return show(report.PSCATable(traces, 0.05, cfg.Seed))
+	case "satruntime":
+		counts, err := parseCounts(countsCSV)
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(circs) == "" {
+			return fmt.Errorf("-exp satruntime requires -circuit")
+		}
+		for _, name := range strings.Split(circs, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			orig, err := loadCircuit(name, cfg.Scale)
+			if err != nil {
+				return err
+			}
+			if err := show(report.SATRuntimeTable(cfg, orig, counts, nil)); err != nil {
+				return err
+			}
+		}
+		return nil
 	case "dip":
 		return show(report.DIPGrowth(cfg, []int{4, 6, 8, 10}))
 	case "ablation":
@@ -194,6 +237,21 @@ func run(exp string, cfg report.AttackConfig, countsCSV string, mc, traces int) 
 		return show(report.DynamicMorphing(cfg, 2))
 	}
 	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+// loadCircuit resolves one -circuit element: an ISCAS/ITC profile name
+// (synthesized at the configured scale) or a path to a .bench file
+// (parsed as-is; scale does not apply to concrete netlists).
+func loadCircuit(name string, scale float64) (*netlist.Netlist, error) {
+	if prof, ok := circuit.ProfileByName(name); ok {
+		return prof.Synthesize(scale)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("circuit %q is neither a known profile nor a readable file: %w", name, err)
+	}
+	nl, err := netlist.ParseBench(name, f)
+	return nl, errors.Join(err, f.Close())
 }
 
 // slug makes a filesystem-friendly name from a table title.

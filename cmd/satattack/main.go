@@ -23,11 +23,18 @@
 // replays each partial journal without re-querying the oracle, then
 // continues the attack. Corrupt checkpoint files degrade to a fresh
 // start with a warning, never an error.
+//
+// -cache-dir memoizes finished targets in the authenticated result
+// cache, keyed by the locked netlist, key file and attack options:
+// re-attacking an unchanged target is answered from disk with zero
+// oracle queries and zero solver calls (-no-cache bypasses, -cache-max
+// caps the size enforced by GC on exit).
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cache"
 	"repro/internal/netlist"
 	"repro/internal/sat"
 	"repro/internal/sweep"
@@ -95,6 +103,8 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "journal DIP progress (and sweep manifest) into this directory")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint-dir: skip done targets, replay partial journals")
 	)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if *lockedPath == "" || *keyPath == "" {
 		fmt.Fprintln(os.Stderr, "satattack: -locked and -key are required")
@@ -142,9 +152,16 @@ func main() {
 		}
 	}
 
+	c, err := cacheFlags.Open()
+	if err != nil {
+		fail(err)
+	}
 	if len(lockedList) == 1 {
 		runSingle(lockedList[0], keyList[0], *prefix, *timeout, *portfolio,
-			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut, ckpt, *resume)
+			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut, ckpt, *resume, c)
+		if err := cacheFlags.Close(c, os.Stderr, "satattack"); err != nil {
+			fmt.Fprintln(os.Stderr, "satattack: cache gc:", err)
+		}
 		return
 	}
 
@@ -152,9 +169,10 @@ func main() {
 	for i := range lockedList {
 		locked, key := lockedList[i], keyList[i]
 		jobList = append(jobList, sweep.Job{
-			Name:    locked,
-			Seed:    sweep.DeriveSeed(1, i),
-			Timeout: *timeout + 30*time.Second, // headroom over the attack's own deadline
+			Name:     locked,
+			Seed:     sweep.DeriveSeed(1, i),
+			Timeout:  *timeout + 30*time.Second, // headroom over the attack's own deadline
+			CacheKey: targetCacheKey(c, locked, key, *prefix, *timeout, *portfolio, *appsat, *bva),
 			Run: func(ctx context.Context, _ int64) (any, error) {
 				return attackOne(ctx, locked, key, *prefix, *timeout, *portfolio, *appsat, *bva, nil,
 					jobJournalPath(ckpt, locked), *resume)
@@ -164,6 +182,7 @@ func main() {
 	runner := &sweep.Runner{
 		Workers:    *jobs,
 		Checkpoint: ckpt,
+		Cache:      c,
 		Progress: func(res sweep.Result) {
 			if res.Err != nil {
 				fmt.Fprintf(os.Stderr, "satattack: %s: FAILED: %v\n", res.Name, res.Err)
@@ -173,12 +192,19 @@ func main() {
 				fmt.Printf("satattack: %s: done in a previous run, skipped\n", res.Name)
 				return
 			}
+			if res.Cached {
+				fmt.Printf("satattack: %s: served from result cache\n", res.Name)
+				return
+			}
 			tr := res.Value.(*targetResult)
 			fmt.Printf("satattack: %s: %s after %d DIPs, %d oracle queries (%d replayed), %.2fs\n",
 				tr.Target, tr.Status, tr.Iterations, tr.Queries, tr.Replayed, res.Seconds)
 		},
 	}
 	results := runner.Run(context.Background(), jobList)
+	if err := cacheFlags.Close(c, os.Stderr, "satattack"); err != nil {
+		fmt.Fprintln(os.Stderr, "satattack: cache gc:", err)
+	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, results); err != nil {
 			fail(err)
@@ -191,6 +217,41 @@ func main() {
 	if ckpt != nil && sweep.FirstErr(results) == nil {
 		fmt.Fprintf(os.Stderr, "satattack: sweep complete, manifest at %s\n", sweep.ManifestPath(ckpt.Dir()))
 	}
+}
+
+// targetCacheKey derives the content-addressed cache key for one
+// attack target: the raw bytes of the locked netlist and key files
+// plus every option that shapes the attack. Returns the zero Key —
+// opting the target out of caching — when the cache is off or a file
+// cannot be read (the attack itself will then surface the read error).
+func targetCacheKey(c *cache.Cache, lockedPath, keyPath, prefix string,
+	timeout time.Duration, portfolio int, appsat, bva bool) cache.Key {
+	if c == nil {
+		return cache.Key{}
+	}
+	lockedRaw, err := os.ReadFile(lockedPath)
+	if err != nil {
+		return cache.Key{}
+	}
+	keyRaw, err := os.ReadFile(keyPath)
+	if err != nil {
+		return cache.Key{}
+	}
+	k, err := cache.NewKey("satattack-target").
+		Bytes("locked", lockedRaw).
+		Bytes("key", keyRaw).
+		Options("opts", map[string]any{
+			"prefix":    prefix,
+			"timeout":   timeout.Nanoseconds(),
+			"portfolio": portfolio,
+			"appsat":    appsat,
+			"bva":       bva,
+		}).
+		Key()
+	if err != nil {
+		return cache.Key{}
+	}
+	return k
 }
 
 // jobJournalPath maps a sweep job onto its journal file, or "" when
@@ -295,10 +356,13 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 	return tr, nil
 }
 
-// runSingle preserves the original single-target output format.
+// runSingle preserves the original single-target output format. The
+// result cache applies to the standard SAT/AppSAT attack only; the
+// sensitization/removal analyses and -trace runs (whose point is the
+// side-effect trace file) always run live.
 func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfolio int,
 	appsat, bva, sensitize, removal bool, tracePath, jsonOut string,
-	ckpt *sweep.Checkpoint, resume bool) {
+	ckpt *sweep.Checkpoint, resume bool, c *cache.Cache) {
 	f, err := os.Open(lockedPath)
 	if err != nil {
 		fail(err)
@@ -353,6 +417,10 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfo
 		return
 	}
 
+	var ck cache.Key
+	if tracePath == "" {
+		ck = targetCacheKey(c, lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva)
+	}
 	var trace *os.File
 	if tracePath != "" {
 		trace, err = os.Create(tracePath)
@@ -361,13 +429,33 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfo
 		}
 	}
 	start := time.Now()
-	tr, err := attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva, trace,
-		jobJournalPath(ckpt, lockedPath), resume)
-	if trace != nil {
-		err = errors.Join(err, trace.Close())
+	var tr *targetResult
+	cached := false
+	if ck.Valid() {
+		if raw, ok := c.Get(ck); ok {
+			var hit targetResult
+			if err := json.Unmarshal(raw, &hit); err == nil {
+				tr, cached = &hit, true
+			}
+		}
 	}
-	if err != nil {
-		fail(err)
+	if tr == nil {
+		tr, err = attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva, trace,
+			jobJournalPath(ckpt, lockedPath), resume)
+		if trace != nil {
+			err = errors.Join(err, trace.Close())
+		}
+		if err != nil {
+			fail(err)
+		}
+		if ck.Valid() {
+			if raw, err := json.Marshal(tr); err == nil {
+				_ = c.Put(ck, raw)
+			}
+		}
+	}
+	if cached {
+		fmt.Println("satattack: result served from cache (no oracle queries, no solver calls)")
 	}
 	fmt.Printf("satattack: %s after %d DIPs in %v (%+v)\n",
 		tr.Status, tr.Iterations, time.Since(start).Round(time.Millisecond), tr.Solver)

@@ -82,9 +82,22 @@ func (o *SimOracle) Clone() (*SimOracle, error) {
 	return NewSimOracle(o.nl)
 }
 
+// queriesTotal counts every simulated-oracle query in the process,
+// across all SimOracle instances. It backs OracleQueriesTotal, the
+// accounting hook the cache differential tests (and the future
+// daemon's /metrics) use to prove a warm sweep issued zero oracle
+// queries; per-oracle budgets keep using Queries().
+var queriesTotal atomic.Int64
+
+// OracleQueriesTotal returns the process-wide number of SimOracle
+// queries issued so far. Monotonic; compare two readings to count the
+// queries a region of work performed.
+func OracleQueriesTotal() int64 { return queriesTotal.Load() }
+
 // Query implements Oracle.
 func (o *SimOracle) Query(in []bool) []bool {
 	o.queries.Add(1)
+	queriesTotal.Add(1)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.sim.Eval(in)
@@ -97,6 +110,7 @@ func (o *SimOracle) Query(in []bool) []bool {
 // invalidated by any later query on this oracle.
 func (o *SimOracle) QueryWords(in []uint64) []uint64 {
 	o.queries.Add(64)
+	queriesTotal.Add(64)
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.sim.Run(in)

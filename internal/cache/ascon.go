@@ -1,0 +1,211 @@
+// Package cache is a content-addressed, authenticated result cache
+// for sweep jobs and report-table cells. Entries are keyed by a
+// canonical SHA-256 hash of everything that determines a result
+// (parsed netlist canonical form, lock options, seed, attack options,
+// cache schema version) and stored encrypted-at-rest with an
+// ASCON-128 AEAD, so a tampered, truncated or swapped entry fails
+// authentication and is transparently recomputed instead of trusted.
+// The design follows garble's build-cache architecture: hash the full
+// input closure, authenticate the payload, version the schema inside
+// the key so format changes invalidate by construction.
+package cache
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"math/bits"
+)
+
+// ASCON-128 (v1.2, the NIST LWC selection): 128-bit key, 128-bit
+// nonce, 128-bit tag, 64-bit rate, 12 initialization/finalization
+// rounds and 6 data rounds. The implementation below is the plain
+// spec permutation over five 64-bit words; it exists so the cache has
+// authenticated encryption with zero dependencies outside the
+// standard library.
+
+const (
+	asconKeyLen   = 16
+	asconNonceLen = 16
+	asconTagLen   = 16
+	ascon128IV    = 0x80400c0600000000
+)
+
+// asconState is the 320-bit permutation state.
+type asconState struct {
+	x0, x1, x2, x3, x4 uint64
+}
+
+// round applies one permutation round with the given round constant:
+// constant addition, the 5-bit S-box applied bit-sliced across the
+// words, then the linear diffusion layer.
+func (s *asconState) round(c uint64) {
+	s.x2 ^= c
+	// Substitution layer (bit-sliced S-box).
+	s.x0 ^= s.x4
+	s.x4 ^= s.x3
+	s.x2 ^= s.x1
+	t0 := ^s.x0 & s.x1
+	t1 := ^s.x1 & s.x2
+	t2 := ^s.x2 & s.x3
+	t3 := ^s.x3 & s.x4
+	t4 := ^s.x4 & s.x0
+	s.x0 ^= t1
+	s.x1 ^= t2
+	s.x2 ^= t3
+	s.x3 ^= t4
+	s.x4 ^= t0
+	s.x1 ^= s.x0
+	s.x0 ^= s.x4
+	s.x3 ^= s.x2
+	s.x2 = ^s.x2
+	// Linear diffusion layer.
+	s.x0 ^= bits.RotateLeft64(s.x0, -19) ^ bits.RotateLeft64(s.x0, -28)
+	s.x1 ^= bits.RotateLeft64(s.x1, -61) ^ bits.RotateLeft64(s.x1, -39)
+	s.x2 ^= bits.RotateLeft64(s.x2, -1) ^ bits.RotateLeft64(s.x2, -6)
+	s.x3 ^= bits.RotateLeft64(s.x3, -10) ^ bits.RotateLeft64(s.x3, -17)
+	s.x4 ^= bits.RotateLeft64(s.x4, -7) ^ bits.RotateLeft64(s.x4, -41)
+}
+
+// p12 is the a-round permutation (initialization and finalization).
+func (s *asconState) p12() {
+	for _, c := range [...]uint64{0xf0, 0xe1, 0xd2, 0xc3, 0xb4, 0xa5, 0x96, 0x87, 0x78, 0x69, 0x5a, 0x4b} {
+		s.round(c)
+	}
+}
+
+// p6 is the b-round permutation (associated data and message blocks).
+func (s *asconState) p6() {
+	for _, c := range [...]uint64{0x96, 0x87, 0x78, 0x69, 0x5a, 0x4b} {
+		s.round(c)
+	}
+}
+
+// loadBytes loads up to 8 bytes big-endian into the high end of a
+// word, the spec's LOADBYTES.
+func loadBytes(b []byte) uint64 {
+	var v uint64
+	for i, c := range b {
+		v |= uint64(c) << (56 - 8*i)
+	}
+	return v
+}
+
+// storeBytes writes the high n bytes of a word, the spec's STOREBYTES.
+func storeBytes(dst []byte, v uint64, n int) {
+	for i := 0; i < n; i++ {
+		dst[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// pad is the spec's PAD: the 0x80 domain-separation byte directly
+// after i message bytes.
+func pad(i int) uint64 { return 0x80 << (56 - 8*i) }
+
+// asconInit absorbs key and nonce into a fresh state.
+func asconInit(key, nonce []byte) (s asconState, k0, k1 uint64) {
+	k0 = binary.BigEndian.Uint64(key[0:8])
+	k1 = binary.BigEndian.Uint64(key[8:16])
+	s = asconState{
+		x0: ascon128IV,
+		x1: k0,
+		x2: k1,
+		x3: binary.BigEndian.Uint64(nonce[0:8]),
+		x4: binary.BigEndian.Uint64(nonce[8:16]),
+	}
+	s.p12()
+	s.x3 ^= k0
+	s.x4 ^= k1
+	return s, k0, k1
+}
+
+// absorbAD absorbs the associated data and applies the domain
+// separation bit.
+func (s *asconState) absorbAD(ad []byte) {
+	if len(ad) > 0 {
+		for len(ad) >= 8 {
+			s.x0 ^= binary.BigEndian.Uint64(ad)
+			s.p6()
+			ad = ad[8:]
+		}
+		s.x0 ^= loadBytes(ad)
+		s.x0 ^= pad(len(ad))
+		s.p6()
+	}
+	s.x4 ^= 1
+}
+
+// finalize runs the finalization permutation and returns the tag.
+func (s *asconState) finalize(k0, k1 uint64) (t0, t1 uint64) {
+	s.x1 ^= k0
+	s.x2 ^= k1
+	s.p12()
+	return s.x3 ^ k0, s.x4 ^ k1
+}
+
+// asconSeal encrypts and authenticates plaintext with the associated
+// data, returning ciphertext||tag (len(plaintext)+16 bytes).
+func asconSeal(key, nonce, ad, plaintext []byte) []byte {
+	s, k0, k1 := asconInit(key, nonce)
+	s.absorbAD(ad)
+
+	out := make([]byte, len(plaintext)+asconTagLen)
+	ct := out
+	for len(plaintext) >= 8 {
+		s.x0 ^= binary.BigEndian.Uint64(plaintext)
+		binary.BigEndian.PutUint64(ct, s.x0)
+		s.p6()
+		plaintext = plaintext[8:]
+		ct = ct[8:]
+	}
+	s.x0 ^= loadBytes(plaintext)
+	storeBytes(ct, s.x0, len(plaintext))
+	s.x0 ^= pad(len(plaintext))
+
+	t0, t1 := s.finalize(k0, k1)
+	binary.BigEndian.PutUint64(out[len(out)-16:], t0)
+	binary.BigEndian.PutUint64(out[len(out)-8:], t1)
+	return out
+}
+
+// asconOpen authenticates and decrypts ciphertext||tag produced by
+// asconSeal under the same key, nonce and associated data. It returns
+// (nil, false) when the tag does not verify — tampered, truncated or
+// mismatched inputs all land here.
+func asconOpen(key, nonce, ad, sealed []byte) ([]byte, bool) {
+	if len(sealed) < asconTagLen {
+		return nil, false
+	}
+	ct := sealed[:len(sealed)-asconTagLen]
+	s, k0, k1 := asconInit(key, nonce)
+	s.absorbAD(ad)
+
+	pt := make([]byte, len(ct))
+	out := pt
+	for len(ct) >= 8 {
+		c0 := binary.BigEndian.Uint64(ct)
+		binary.BigEndian.PutUint64(out, s.x0^c0)
+		s.x0 = c0
+		s.p6()
+		ct = ct[8:]
+		out = out[8:]
+	}
+	c0 := loadBytes(ct)
+	storeBytes(out, s.x0^c0, len(ct))
+	// Replace the consumed high bytes of the rate word with the
+	// ciphertext bytes, keep the untouched low bytes, then pad.
+	var mask uint64
+	if len(ct) > 0 {
+		mask = ^uint64(0) << (64 - 8*len(ct))
+	}
+	s.x0 = (s.x0 &^ mask) | c0
+	s.x0 ^= pad(len(ct))
+
+	t0, t1 := s.finalize(k0, k1)
+	var tag [asconTagLen]byte
+	binary.BigEndian.PutUint64(tag[0:8], t0)
+	binary.BigEndian.PutUint64(tag[8:16], t1)
+	if subtle.ConstantTimeCompare(tag[:], sealed[len(sealed)-asconTagLen:]) != 1 {
+		return nil, false
+	}
+	return pt, true
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(strings.ToLower(s))
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// TestAsconKAT pins the implementation against the official ASCON-128
+// v1.2 known-answer vectors (NIST LWC genkat, LWC_AEAD_KAT_128_128):
+// any drift in the permutation, padding or domain separation changes
+// these tags.
+func TestAsconKAT(t *testing.T) {
+	key := unhex(t, "000102030405060708090A0B0C0D0E0F")
+	nonce := unhex(t, "000102030405060708090A0B0C0D0E0F")
+	cases := []struct {
+		name   string
+		pt, ad string
+		ct     string // ciphertext || tag
+	}{
+		{"count1-empty", "", "", "E355159F292911F794CB1432A0103A8A"},
+		{"count2-ad00", "", "00", "944DF887CD4901614C5DEDBC42FC0DA0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pt := unhex(t, tc.pt)
+			ad := unhex(t, tc.ad)
+			want := unhex(t, tc.ct)
+			got := asconSeal(key, nonce, ad, pt)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("seal = %X, want %X", got, want)
+			}
+			back, ok := asconOpen(key, nonce, ad, got)
+			if !ok {
+				t.Fatalf("open rejected its own seal")
+			}
+			if !bytes.Equal(back, pt) {
+				t.Fatalf("open = %X, want %X", back, pt)
+			}
+		})
+	}
+}
+
+// TestAsconRoundTrip crosses the rate boundary in both plaintext and
+// associated data: every (pt, ad) length combination around multiples
+// of the 8-byte rate must seal and open back to the same bytes.
+func TestAsconRoundTrip(t *testing.T) {
+	key := unhex(t, "101112131415161718191A1B1C1D1E1F")
+	nonce := unhex(t, "202122232425262728292A2B2C2D2E2F")
+	lens := []int{0, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65}
+	for _, np := range lens {
+		for _, na := range lens {
+			pt := make([]byte, np)
+			ad := make([]byte, na)
+			for i := range pt {
+				pt[i] = byte(i * 7)
+			}
+			for i := range ad {
+				ad[i] = byte(i * 13)
+			}
+			sealed := asconSeal(key, nonce, ad, pt)
+			if len(sealed) != np+asconTagLen {
+				t.Fatalf("pt=%d ad=%d: sealed length %d", np, na, len(sealed))
+			}
+			back, ok := asconOpen(key, nonce, ad, sealed)
+			if !ok || !bytes.Equal(back, pt) {
+				t.Fatalf("pt=%d ad=%d: roundtrip failed (ok=%v)", np, na, ok)
+			}
+		}
+	}
+}
+
+// TestAsconRejects flips every single byte of a sealed message — and
+// separately perturbs the AD, key and nonce — and requires every
+// variant to fail authentication.
+func TestAsconRejects(t *testing.T) {
+	key := unhex(t, "000102030405060708090A0B0C0D0E0F")
+	nonce := unhex(t, "0F0E0D0C0B0A09080706050403020100")
+	ad := []byte("entry-key")
+	pt := []byte("cached result payload, 29 bytes")
+	sealed := asconSeal(key, nonce, ad, pt)
+
+	for i := range sealed {
+		tampered := append([]byte(nil), sealed...)
+		tampered[i] ^= 0x40
+		if _, ok := asconOpen(key, nonce, ad, tampered); ok {
+			t.Fatalf("accepted seal with byte %d flipped", i)
+		}
+	}
+	for cut := 0; cut < len(sealed); cut++ {
+		if _, ok := asconOpen(key, nonce, ad, sealed[:cut]); ok {
+			t.Fatalf("accepted seal truncated to %d bytes", cut)
+		}
+	}
+	if _, ok := asconOpen(key, nonce, []byte("other-key"), sealed); ok {
+		t.Fatal("accepted seal under wrong associated data")
+	}
+	badKey := append([]byte(nil), key...)
+	badKey[0] ^= 1
+	if _, ok := asconOpen(badKey, nonce, ad, sealed); ok {
+		t.Fatal("accepted seal under wrong key")
+	}
+	badNonce := append([]byte(nil), nonce...)
+	badNonce[15] ^= 1
+	if _, ok := asconOpen(key, badNonce, ad, sealed); ok {
+		t.Fatal("accepted seal under wrong nonce")
+	}
+}

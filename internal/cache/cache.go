@@ -1,0 +1,442 @@
+package cache
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// On-disk layout of a cache directory:
+//
+//	<dir>/key            master AEAD key (16 random bytes, 0600)
+//	<dir>/lock           flock file serializing GC against writers
+//	<dir>/entries/ab/<64-hex-key>   one authenticated entry per key
+//
+// Every entry file is magic || format version || nonce || ASCON-128
+// sealed payload, with the magic, version and the entry's own cache
+// key bound in as associated data. Binding the key means a byte flip,
+// a truncation, *and* two entries swapped wholesale between files all
+// fail authentication — a swapped file decrypts fine under the master
+// key, but its associated data no longer matches the name it sits
+// under. Failed authentication is never an error: the entry is
+// dropped, counted as an invalidation, and the caller recomputes.
+//
+// Writers follow the journal/checkpoint durability discipline: write
+// a temp file, fsync it, rename into place, fsync the directory.
+// Eviction (size-capped LRU on the entry files' modification times,
+// which Get refreshes on every hit) takes an exclusive flock while
+// writers rename under a shared one, so GC never observes a
+// half-written entry and never races another GC.
+
+const (
+	entryMagic   = "RILC"
+	entryVersion = 1
+	// DefaultMaxBytes is the GC size cap when Options.MaxBytes is 0.
+	DefaultMaxBytes = 1 << 30
+	// tmpGracePeriod is how old an orphaned .tmp file must be before
+	// GC sweeps it; younger temps may belong to an in-flight Put.
+	tmpGracePeriod = 10 * time.Minute
+)
+
+// Options configures a cache directory.
+type Options struct {
+	// MaxBytes caps the total size of all entries; GC evicts
+	// least-recently-used entries beyond it (0 = DefaultMaxBytes).
+	MaxBytes int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"` // entries that failed authentication or decoding
+	Puts          int64 `json:"puts"`
+	PutErrors     int64 `json:"put_errors"`
+	Evictions     int64 `json:"evictions"`
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses (%d invalidated), %d stores (%d failed), %d evicted",
+		s.Hits, s.Misses, s.Invalidations, s.Puts, s.PutErrors, s.Evictions)
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a content-addressed, authenticated result store rooted at
+// one directory. Safe for concurrent use by multiple goroutines and
+// cooperating processes sharing the directory.
+type Cache struct {
+	dir      string
+	maxBytes int64
+	aeadKey  [asconKeyLen]byte
+
+	hits, misses, invalidations atomic.Int64
+	puts, putErrors, evictions  atomic.Int64
+}
+
+// entryWriter is the sink an entry is written through before rename;
+// tests swap newEntrySink to inject crash faults mid-write.
+type entryWriter interface {
+	io.Writer
+	Sync() error
+}
+
+// newEntrySink wraps the entry temp file; overridden in tests with a
+// testutil.FaultyWriter to prove torn writes never become entries.
+var newEntrySink = func(f *os.File) entryWriter { return f }
+
+// Open opens (creating if needed) a cache directory. The master AEAD
+// key is generated on first use and persists with the directory;
+// deleting the directory discards both the key and every entry.
+func Open(dir string, opt Options) (*Cache, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "entries"), 0o755); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	c := &Cache{dir: dir, maxBytes: opt.MaxBytes}
+	if c.maxBytes <= 0 {
+		c.maxBytes = DefaultMaxBytes
+	}
+	if err := c.loadOrCreateKey(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the counters (process-local, since
+// Open; they do not aggregate across processes).
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+		Puts:          c.puts.Load(),
+		PutErrors:     c.putErrors.Load(),
+		Evictions:     c.evictions.Load(),
+	}
+}
+
+// keyPath is the master-key file, lockPath the GC/writer flock file.
+func (c *Cache) keyPath() string  { return filepath.Join(c.dir, "key") }
+func (c *Cache) lockPath() string { return filepath.Join(c.dir, "lock") }
+
+// entryPath maps a cache key to its entry file, sharded by the first
+// hex byte to keep directories small.
+func (c *Cache) entryPath(k Key) string {
+	hex := k.String()
+	return filepath.Join(c.dir, "entries", hex[:2], hex)
+}
+
+// loadOrCreateKey reads the master key, generating one under an
+// exclusive lock on first use so concurrent opens agree on a single
+// key.
+func (c *Cache) loadOrCreateKey() error {
+	read := func() (bool, error) {
+		raw, err := os.ReadFile(c.keyPath())
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("cache: %w", err)
+		}
+		if len(raw) != asconKeyLen {
+			return false, fmt.Errorf("cache: master key file %s has %d bytes, want %d", c.keyPath(), len(raw), asconKeyLen)
+		}
+		copy(c.aeadKey[:], raw)
+		return true, nil
+	}
+	if ok, err := read(); ok || err != nil {
+		return err
+	}
+	lock, err := c.flock(syscall.LOCK_EX)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = unflock(lock) }() // key already durable or error already returned
+	// Re-check under the lock: another opener may have won the race.
+	if ok, err := read(); ok || err != nil {
+		return err
+	}
+	var key [asconKeyLen]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := writeFileDurable(c.keyPath(), key[:], 0o600); err != nil {
+		return err
+	}
+	c.aeadKey = key
+	return nil
+}
+
+// flock opens the lock file and takes a flock of the given type
+// (syscall.LOCK_SH or syscall.LOCK_EX), blocking until granted.
+func (c *Cache) flock(how int) (*os.File, error) {
+	f, err := os.OpenFile(c.lockPath(), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), how); err != nil {
+		return nil, errors.Join(fmt.Errorf("cache: flock: %w", err), f.Close())
+	}
+	return f, nil
+}
+
+// unflock releases a flock and closes its file.
+func unflock(f *os.File) error {
+	return errors.Join(syscall.Flock(int(f.Fd()), syscall.LOCK_UN), f.Close())
+}
+
+// associatedData binds an entry to its own key, so entries swapped
+// between files fail authentication.
+func associatedData(k Key) []byte {
+	ad := make([]byte, 0, len(entryMagic)+1+len(k.sum))
+	ad = append(ad, entryMagic...)
+	ad = append(ad, entryVersion)
+	ad = append(ad, k.sum[:]...)
+	return ad
+}
+
+// Get returns the cached payload for a key. Any failure — missing
+// entry, bad header, failed authentication — is a miss; authenticated
+// entries additionally refresh their LRU timestamp. Get never returns
+// tampered bytes and never fails the caller: a damaged entry is
+// removed, counted under Invalidations, and reported as a miss so the
+// caller recomputes.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	if !k.Valid() {
+		return nil, false
+	}
+	path := c.entryPath(k)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := c.decode(k, raw)
+	if !ok {
+		// Tampered, truncated or foreign bytes: drop the entry so the
+		// recompute's Put replaces it, and report the authentication
+		// failure separately from a plain miss.
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			c.putErrors.Add(1)
+		}
+		return nil, false
+	}
+	c.hits.Add(1)
+	now := time.Now()
+	// Best-effort LRU refresh; a read-only cache dir only weakens
+	// eviction order, never correctness.
+	_ = os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// decode parses and authenticates one entry file.
+func (c *Cache) decode(k Key, raw []byte) ([]byte, bool) {
+	hdr := len(entryMagic) + 1 + asconNonceLen
+	if len(raw) < hdr+asconTagLen {
+		return nil, false
+	}
+	if string(raw[:len(entryMagic)]) != entryMagic || raw[len(entryMagic)] != entryVersion {
+		return nil, false
+	}
+	nonce := raw[len(entryMagic)+1 : hdr]
+	return asconOpen(c.aeadKey[:], nonce, associatedData(k), raw[hdr:])
+}
+
+// Put stores a payload under a key, replacing any existing entry. The
+// write is atomic and durable (temp file, fsync, rename under a
+// shared lock, directory fsync): concurrent readers and the GC only
+// ever observe complete entries, and a crash mid-Put leaves at worst
+// an orphaned temp file that the next GC sweeps.
+func (c *Cache) Put(k Key, payload []byte) error {
+	err := c.put(k, payload)
+	if err != nil {
+		c.putErrors.Add(1)
+		return err
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+func (c *Cache) put(k Key, payload []byte) error {
+	if !k.Valid() {
+		return fmt.Errorf("cache: Put with invalid key")
+	}
+	var nonce [asconNonceLen]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	buf := make([]byte, 0, len(entryMagic)+1+asconNonceLen+len(payload)+asconTagLen)
+	buf = append(buf, entryMagic...)
+	buf = append(buf, entryVersion)
+	buf = append(buf, nonce[:]...)
+	buf = append(buf, asconSeal(c.aeadKey[:], nonce[:], associatedData(k), payload)...)
+
+	path := c.entryPath(k)
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	sink := newEntrySink(tmp)
+	if _, err := sink.Write(buf); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), tmp.Close())
+	}
+	if err := sink.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), tmp.Close())
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	// Rename under a shared lock: many writers may land concurrently,
+	// but never during an exclusive GC sweep.
+	lock, err := c.flock(syscall.LOCK_SH)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), unflock(lock))
+	}
+	return errors.Join(syncDir(dir), unflock(lock))
+}
+
+// GC enforces the size cap: while the entries exceed MaxBytes, the
+// least-recently-used entries (oldest modification time — Get
+// refreshes it on every hit) are evicted, under an exclusive lock so
+// eviction never races writers' renames or another GC. Orphaned temp
+// files from crashed writers are always swept. Returns the number of
+// entries evicted.
+func (c *Cache) GC() (int, error) {
+	lock, err := c.flock(syscall.LOCK_EX)
+	if err != nil {
+		return 0, err
+	}
+	removed, err := c.gcLocked()
+	return removed, errors.Join(err, unflock(lock))
+}
+
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+func (c *Cache) gcLocked() (int, error) {
+	var entries []entryInfo
+	var total int64
+	root := filepath.Join(c.dir, "entries")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if filepath.Ext(path) == ".tmp" {
+			// A crashed writer's leftover. Live writers stage their temp
+			// file *before* taking the shared rename lock, so a fresh
+			// temp may belong to an in-flight Put — only sweep temps old
+			// enough that no live writer can still own them.
+			if time.Since(info.ModTime()) > tmpGracePeriod {
+				return os.Remove(path)
+			}
+			return nil
+		}
+		entries = append(entries, entryInfo{path: path, size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("cache: gc: %w", err)
+	}
+	if total <= c.maxBytes {
+		return 0, nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path // stable order for equal stamps
+	})
+	removed := 0
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			return removed, fmt.Errorf("cache: gc: %w", err)
+		}
+		total -= e.size
+		removed++
+	}
+	c.evictions.Add(int64(removed))
+	return removed, nil
+}
+
+// writeFileDurable writes a small file with the temp/fsync/rename/dir-
+// fsync discipline.
+func writeFileDurable(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".key-*.tmp")
+	if err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := tmp.Chmod(perm); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), tmp.Close())
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), tmp.Close())
+	}
+	if err := tmp.Sync(); err != nil {
+		return errors.Join(fmt.Errorf("cache: %w", err), tmp.Close())
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("cache: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename survives a crash,
+// mirroring the sweep checkpoint's durability discipline. Filesystems
+// that reject directory fsync degrade to the rename's own guarantees.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return errors.Join(err, d.Close())
+	}
+	return d.Close()
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/cache"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// TestCacheDifferentialSweep is the issue's headline differential
+// test: run the SAT-runtime report sweep over c17 (the genuine
+// ISCAS-85 netlist) and c432 cold, then re-run it warm against a
+// *reopened* cache directory. The warm run must emit byte-identical
+// JSON while issuing zero oracle queries and zero solver calls — the
+// whole report is answered from authenticated cache entries.
+func TestCacheDifferentialSweep(t *testing.T) {
+	f, err := os.Open("../../testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c17, err := netlist.ParseBench("c17", f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		t.Fatal("missing c432 profile")
+	}
+	c432, err := prof.Synthesize(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench := []*netlist.Netlist{c17, c432}
+
+	dir := t.TempDir()
+	runOnce := func(c *cache.Cache) []byte {
+		t.Helper()
+		cfg := AttackConfig{Timeout: 500 * time.Millisecond, Scale: 0.25, Seed: 3, Jobs: 2, Cache: c}
+		var out bytes.Buffer
+		for _, nl := range bench {
+			tbl, err := SATRuntimeTable(cfg, nl, []int{1, 2}, []core.Size{core.Size2x2, core.Size8x8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := json.NewEncoder(&out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(tbl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out.Bytes()
+	}
+
+	cold, err := cache.Open(dir, cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldOut := runOnce(cold)
+	if s := cold.Stats(); s.Puts == 0 || s.Hits != 0 {
+		t.Fatalf("cold run stats %+v: want only misses and stores", s)
+	}
+
+	// Reopen: the warm run must authenticate entries written by the
+	// "previous process" using the persisted master key.
+	warm, err := cache.Open(dir, cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q0, s0 := attack.OracleQueriesTotal(), sat.SolveCallsTotal()
+	warmOut := runOnce(warm)
+	dq, ds := attack.OracleQueriesTotal()-q0, sat.SolveCallsTotal()-s0
+	if dq != 0 {
+		t.Errorf("warm run issued %d oracle queries, want 0", dq)
+	}
+	if ds != 0 {
+		t.Errorf("warm run issued %d solver calls, want 0", ds)
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Errorf("warm JSON differs from cold JSON:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	st := warm.Stats()
+	if st.Misses != 0 || st.Invalidations != 0 {
+		t.Errorf("warm run stats %+v: want pure hits", st)
+	}
+	wantCells := int64(len(bench) * 2 * 2) // 2 counts x 2 sizes per circuit
+	if st.Hits != wantCells {
+		t.Errorf("warm run hit %d cells, want %d", st.Hits, wantCells)
+	}
+}
+
+// TestCacheTamperRecompute: damaging one entry of a warmed report
+// cache degrades exactly that cell to a recompute — the table keeps
+// its shape (the cell's measured runtime is legitimately re-measured,
+// so only pure-hit runs are byte-identical) and the damaged entry is
+// rewritten, making the next run a pure hit again.
+func TestCacheTamperRecompute(t *testing.T) {
+	prof, ok := circuit.ProfileByName("c432")
+	if !ok {
+		t.Fatal("missing c432 profile")
+	}
+	orig, err := prof.Synthesize(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	c, err := cache.Open(dir, cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := AttackConfig{Timeout: 500 * time.Millisecond, Scale: 0.25, Seed: 3, Jobs: 1, Cache: c}
+	counts, sizes := []int{1}, []core.Size{core.Size2x2}
+	cold, err := SATRuntimeTable(cfg, orig, counts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the single entry file.
+	var entry string
+	err = walkFiles(dir+"/entries", func(path string) { entry = path })
+	if err != nil || entry == "" {
+		t.Fatalf("no entry file found (err=%v)", err)
+	}
+	raw, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x80
+	if err := os.WriteFile(entry, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := SATRuntimeTable(cfg, orig, counts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Title != cold.Title || len(warm.Rows) != len(cold.Rows) ||
+		len(warm.Rows[0]) != len(cold.Rows[0]) || warm.Rows[0][1] == "n/a" {
+		t.Fatalf("recomputed table lost its shape: %+v vs %+v", warm, cold)
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("stats %+v: want exactly one invalidation", st)
+	}
+	// The recompute re-stored the entry: a third run is a pure hit.
+	pre := c.Stats().Hits
+	if _, err := SATRuntimeTable(cfg, orig, counts, sizes); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != pre+1 {
+		t.Fatalf("recomputed entry was not rewritten (hits %d -> %d)", pre, c.Stats().Hits)
+	}
+}
+
+func walkFiles(root string, fn func(path string)) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		p := root + "/" + e.Name()
+		if e.IsDir() {
+			if err := walkFiles(p, fn); err != nil {
+				return err
+			}
+			continue
+		}
+		fn(p)
+	}
+	return nil
+}

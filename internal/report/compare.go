@@ -371,6 +371,11 @@ func DIPGrowth(cfg AttackConfig, widths []int) (*Table, error) {
 			jobs = append(jobs, sweep.Job{
 				Name: fmt.Sprintf("dip/%s/%d", mk.scheme, w),
 				Seed: cfg.Seed,
+				// The cell runs under its own fixed 30s solver budget, so
+				// the key pins that too (cellKey already folds cfg.Timeout,
+				// which this cell ignores; over-keying only costs hits).
+				CacheKey: cellKey(cfg, "dip-growth-cell", orig,
+					map[string]any{"scheme": mk.scheme, "width": w, "solver_timeout": "30s"}),
 				Run: func(ctx context.Context, _ int64) (any, error) {
 					l, err := mk.lock()
 					if err != nil {

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/logic"
@@ -43,6 +45,13 @@ type AttackConfig struct {
 	// Runtimes become trace-nondeterministic; DIP/query counts may vary
 	// between runs, the verdicts do not.
 	Portfolio int
+	// Cache, when non-nil, memoizes table cells across runs in the
+	// content-addressed result cache: each sweep job is keyed by the
+	// canonical circuit form plus every option that determines its
+	// cell, looked up before dispatch and stored on success. A warm
+	// re-run of an identical table emits byte-identical output with
+	// zero oracle queries and zero solver calls.
+	Cache *cache.Cache
 }
 
 // DefaultAttackConfig is sized for an interactive run.
@@ -57,7 +66,7 @@ func DefaultAttackConfig() AttackConfig {
 // AttackConfig.CheckpointDir is set; distinct tables must use distinct
 // scopes so their manifests never clobber each other.
 func runSweep(cfg AttackConfig, scope string, jobs []sweep.Job) ([]sweep.Result, error) {
-	r := &sweep.Runner{Workers: cfg.Jobs}
+	r := &sweep.Runner{Workers: cfg.Jobs, Cache: cfg.Cache}
 	if cfg.CheckpointDir != "" {
 		dir := filepath.Join(cfg.CheckpointDir, scope)
 		var ckpt *sweep.Checkpoint
@@ -96,6 +105,55 @@ func cellValue[T any](res sweep.Result) (T, error) {
 		return zero, fmt.Errorf("report: job %q checkpointed result: %w", res.Name, err)
 	}
 	return v, nil
+}
+
+// scopeSlug renders a circuit name as a checkpoint/cache scope
+// component: lower-case alphanumerics with runs of anything else
+// collapsed to '-', so "testdata/c17.bench" and "c432" both produce a
+// single safe path element.
+func scopeSlug(name string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
+
+// cellKey derives the content-addressed cache key for one attack-table
+// cell. Everything that determines the cell's value is folded in: the
+// circuit's canonical netlist form, the cell options (block count, LUT
+// size, ...), and the AttackConfig knobs that change the outcome
+// (timeout, portfolio, the lint gate, the lock seed). It returns the
+// zero Key — which opts the job out of caching — when cfg.Cache is nil
+// or the key cannot be built, so callers can assign it unconditionally.
+func cellKey(cfg AttackConfig, kind string, orig *netlist.Netlist, opts map[string]any) cache.Key {
+	if cfg.Cache == nil {
+		return cache.Key{}
+	}
+	k, err := cache.NewKey(kind).
+		Netlist("circuit", orig).
+		Options("cell", opts).
+		Options("attack", map[string]any{
+			"timeout":   cfg.Timeout.Nanoseconds(),
+			"portfolio": cfg.Portfolio,
+			"nolint":    cfg.NoLint,
+		}).
+		Int("seed", cfg.Seed).
+		Key()
+	if err != nil {
+		return cache.Key{}
+	}
+	return k
 }
 
 // lintLock gates every experiment on a structurally sound, full-
@@ -150,18 +208,43 @@ func lockAndAttack(ctx context.Context, orig *netlist.Netlist, blocks int, size 
 // Table1 reproduces paper Table I: SAT-attack runtime for c7552 locked
 // with {counts} RIL-Blocks of sizes 2×2, 8×8 and 8×8×8.
 func Table1(cfg AttackConfig, counts []int) (*Table, error) {
-	if len(counts) == 0 {
-		counts = []int{1, 2, 3, 4, 5, 10, 25, 50, 75, 100}
-	}
 	prof, _ := circuit.ProfileByName("c7552")
 	orig, err := prof.Synthesize(cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	sizes := []core.Size{core.Size2x2, core.Size8x8, core.Size8x8x8}
+	t, err := satRuntimeTable(cfg, "table1", orig, counts, nil)
+	if err != nil {
+		return nil, err
+	}
+	t.Title = "Table I: SAT-attack runtime (s) on c7552 vs RIL-Block count and size"
+	return t, nil
+}
+
+// SATRuntimeTable renders the Table I layout for an arbitrary circuit:
+// SAT-attack runtime for orig locked with each of {counts} RIL-Blocks
+// of each size in sizes (nil = the paper's defaults). Table1 is this
+// sweep specialized to c7552; the generalized form backs `rilbench
+// -exp satruntime`, the cache differential suite and the warm/cold CI
+// benchmark, which run the same sweep over small circuits such as c17.
+func SATRuntimeTable(cfg AttackConfig, orig *netlist.Netlist, counts []int, sizes []core.Size) (*Table, error) {
+	return satRuntimeTable(cfg, "satruntime-"+scopeSlug(orig.Name), orig, counts, sizes)
+}
+
+func satRuntimeTable(cfg AttackConfig, scope string, orig *netlist.Netlist, counts []int, sizes []core.Size) (*Table, error) {
+	if len(counts) == 0 {
+		counts = []int{1, 2, 3, 4, 5, 10, 25, 50, 75, 100}
+	}
+	if len(sizes) == 0 {
+		sizes = []core.Size{core.Size2x2, core.Size8x8, core.Size8x8x8}
+	}
+	header := []string{"blocks"}
+	for _, size := range sizes {
+		header = append(header, size.String())
+	}
 	t := &Table{
-		Title:  "Table I: SAT-attack runtime (s) on c7552 vs RIL-Block count and size",
-		Header: []string{"blocks", "2x2", "8x8", "8x8x8"},
+		Title:  fmt.Sprintf("SAT-attack runtime (s) on %s vs RIL-Block count and size", orig.Name),
+		Header: header,
 		Notes: []string{
 			fmt.Sprintf("scale=%.2f timeout=%v ('inf' = timeout, 'n/a' = circuit cannot host the blocks)", cfg.Scale, cfg.Timeout),
 		},
@@ -174,8 +257,10 @@ func Table1(cfg AttackConfig, counts []int) (*Table, error) {
 		for _, size := range sizes {
 			n, size := n, size
 			jobs = append(jobs, sweep.Job{
-				Name: fmt.Sprintf("table1/%d/%s", n, size),
+				Name: fmt.Sprintf("%s/%d/%s", scope, n, size),
 				Seed: cfg.Seed,
+				CacheKey: cellKey(cfg, "sat-runtime-cell", orig,
+					map[string]any{"blocks": n, "size": size.String()}),
 				Run: func(ctx context.Context, _ int64) (any, error) {
 					res, err := lockAndAttack(ctx, orig, n, size, cfg)
 					switch {
@@ -190,7 +275,7 @@ func Table1(cfg AttackConfig, counts []int) (*Table, error) {
 			})
 		}
 	}
-	results, err := runSweep(cfg, "table1", jobs)
+	results, err := runSweep(cfg, scope, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -261,6 +346,8 @@ func Table3(cfg AttackConfig) (*Table, error) {
 			jobs = append(jobs, sweep.Job{
 				Name: fmt.Sprintf("table3/%s/%dblk", b.name, blocks),
 				Seed: cfg.Seed,
+				CacheKey: cellKey(cfg, "sat-runtime-cell", b.nl,
+					map[string]any{"blocks": blocks, "size": core.Size8x8x8.String()}),
 				Run: func(ctx context.Context, _ int64) (any, error) {
 					res, err := lockAndAttack(ctx, b.nl, blocks, core.Size8x8x8, cfg)
 					switch {
@@ -277,6 +364,8 @@ func Table3(cfg AttackConfig) (*Table, error) {
 		jobs = append(jobs, sweep.Job{
 			Name: fmt.Sprintf("table3/%s/appsat", b.name),
 			Seed: cfg.Seed,
+			CacheKey: cellKey(cfg, "appsat-scan-cell", b.nl,
+				map[string]any{"blocks": 1, "size": core.Size8x8x8.String(), "maxrounds": 16}),
 			Run: func(ctx context.Context, _ int64) (any, error) {
 				ok, err := appSATSucceeds(ctx, b.nl, cfg)
 				if err != nil {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
@@ -614,9 +615,21 @@ func (s *Solver) ModelValue(l cnf.Lit) bool {
 	return v
 }
 
+// solveCalls counts every Solver.Solve invocation in the process,
+// across all solver instances (portfolio workers included). It backs
+// SolveCallsTotal, the accounting hook the result-cache differential
+// tests use to prove a warm sweep ran zero solver calls; it will also
+// feed the serving daemon's /metrics.
+var solveCalls atomic.Int64
+
+// SolveCallsTotal returns the process-wide number of Solve calls so
+// far. Monotonic; compare two readings to count a region's calls.
+func SolveCallsTotal() int64 { return solveCalls.Load() }
+
 // Solve searches for a satisfying assignment under the given
 // assumptions. It is incremental: clauses may be added between calls.
 func (s *Solver) Solve(assumptions ...cnf.Lit) Status {
+	solveCalls.Add(1)
 	if !s.okay {
 		return Unsat
 	}

@@ -23,6 +23,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"repro/internal/cache"
 )
 
 // Job is one unit of sweep work. Run receives a context that is
@@ -39,6 +41,13 @@ type Job struct {
 	// Timeout overrides the runner's default per-job timeout
 	// (0 = inherit).
 	Timeout time.Duration
+	// CacheKey, when valid and Runner.Cache is set, identifies the
+	// job's result in the content-addressed cache: the job is served
+	// from the cache before dispatch and stored back on success. The
+	// zero Key opts the job out. Builders must fold *everything* that
+	// determines the result into the key (netlist canonical form, all
+	// options, the seed) — the cache trusts the key completely.
+	CacheKey cache.Key
 	// Run executes the job. The returned value lands in Result.Value.
 	Run func(ctx context.Context, seed int64) (any, error)
 }
@@ -58,6 +67,10 @@ type Result struct {
 	// manifest already records it done; Value then holds the recorded
 	// json.RawMessage payload, not the job's native result type.
 	Resumed bool `json:"resumed,omitempty"`
+	// Cached marks a job served from Runner.Cache without running;
+	// like Resumed, Value holds the json.RawMessage payload the
+	// original run stored.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // PanicError is the Result.Err of a job that panicked; the sweep
@@ -88,6 +101,15 @@ type Runner struct {
 	// records as done (failed jobs re-run). Jobs that want their own
 	// partial-progress files derive paths via Checkpoint.JobFile.
 	Checkpoint *Checkpoint
+	// Cache, when non-nil, serves jobs with a valid CacheKey from the
+	// content-addressed result cache before dispatch and stores each
+	// successful result back after the run. The checkpoint manifest
+	// takes precedence on resume — jobs it records done are skipped
+	// outright — and cache hits are themselves recorded into the
+	// manifest, so a resumed sweep consults the cache exactly for the
+	// jobs the manifest does not yet cover. Failed jobs are never
+	// cached.
+	Cache *cache.Cache
 }
 
 // Run executes all jobs and returns their results in job order. A
@@ -122,6 +144,33 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 			}
 		}
 	}
+	// Then the cross-run cache: jobs the manifest does not cover are
+	// looked up by content key before dispatch, so repeated and
+	// overlapping sweeps (and resumed sweeps whose manifest is behind
+	// the cache) re-run nothing the cache already proves done.
+	if r.Cache != nil {
+		for i := range jobs {
+			if skipped[i] || !jobs[i].CacheKey.Valid() {
+				continue
+			}
+			raw, ok := r.Cache.Get(jobs[i].CacheKey)
+			if !ok {
+				continue
+			}
+			skipped[i] = true
+			results[i] = Result{Name: jobs[i].Name, Index: i, Worker: -1,
+				Value: json.RawMessage(raw), Cached: true}
+			if r.Checkpoint != nil {
+				if err := r.Checkpoint.record(results[i]); err != nil {
+					results[i].Err = fmt.Errorf("checkpoint: %w", err)
+					results[i].Error = results[i].Err.Error()
+				}
+			}
+			if r.Progress != nil {
+				r.Progress(results[i])
+			}
+		}
+	}
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -134,6 +183,15 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 					if err := r.Checkpoint.record(results[i]); err != nil && results[i].Err == nil {
 						results[i].Err = fmt.Errorf("checkpoint: %w", err)
 						results[i].Error = results[i].Err.Error()
+					}
+				}
+				// Store successful results for future runs. A failed
+				// store must not fail the job — the cache keeps its own
+				// error counter and the result is already in hand.
+				if r.Cache != nil && jobs[i].CacheKey.Valid() &&
+					results[i].Err == nil && results[i].Value != nil {
+					if raw, err := json.Marshal(results[i].Value); err == nil {
+						_ = r.Cache.Put(jobs[i].CacheKey, raw)
 					}
 				}
 				if r.Progress != nil {
