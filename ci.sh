@@ -26,7 +26,11 @@
 # complete manifest — and finally the result-cache gate: the same
 # report sweep runs cold then warm against one -cache-dir, the warm
 # run must be byte-identical, all hits and at least 5x faster, with
-# the timings published as BENCH_9.json.
+# the timings published as BENCH_9.json — and the rild daemon gate:
+# a race-built cmd/rild serves a 200-job load flood with zero lost or
+# duplicated results, answers well-formed /metrics whose counters
+# match the load, and drains clean (exit 0, no temp litter) on
+# SIGTERM.
 set -eu
 
 echo "== gofmt =="
@@ -278,5 +282,86 @@ if [ "$ok" != 1 ]; then
     echo "ci: warm sweep only ${speedup}x faster than cold (gate: 5x)" >&2
     exit 1
 fi
+
+echo "== rild daemon gate: load, metrics, drain =="
+# The service daemon, built with the race detector, is flooded with
+# 200 c17-class attack jobs by its own load harness: every job must
+# reach a terminal state (0 lost, 0 duplicated), /metrics must be
+# well-formed Prometheus text, a SIGTERM drain must exit 0 and leave
+# no temp litter in the state directory, and rilvet must report zero
+# findings over the daemon's packages specifically.
+go run ./cmd/rilvet ./internal/serve/ ./cmd/rild/
+go build -race -o "$tmp/rild" ./cmd/rild
+rild_state="$tmp/rild-state"
+"$tmp/rild" -state "$rild_state" -addr 127.0.0.1:0 -default-timeout 60s \
+    > "$tmp/rild.out" 2> "$tmp/rild.err" &
+rild_pid=$!
+# The listening line doubles as the readiness signal.
+i=0
+while ! grep -q "rild: listening on " "$tmp/rild.out" 2>/dev/null; do
+    kill -0 "$rild_pid" 2>/dev/null || {
+        echo "ci: rild exited before listening" >&2
+        cat "$tmp/rild.err" >&2
+        exit 1
+    }
+    i=$((i + 1))
+    [ "$i" -le 300 ] || { echo "ci: rild did not start in 30s" >&2; exit 1; }
+    sleep 0.1
+done
+rild_addr=$(sed -n 's/^rild: listening on //p' "$tmp/rild.out" | head -n 1)
+"$tmp/rild" -load 200 -load-concurrency 16 -addr "$rild_addr" \
+    > "$tmp/rild_load.out" 2> "$tmp/rild_load.err" || {
+    echo "ci: rild load harness failed:" >&2
+    cat "$tmp/rild_load.out" "$tmp/rild_load.err" >&2
+    kill -9 "$rild_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q "0 lost, 0 duplicated" "$tmp/rild_load.out" || {
+    echo "ci: rild load report is missing the zero-loss invariant:" >&2
+    cat "$tmp/rild_load.out" >&2
+    kill -9 "$rild_pid" 2>/dev/null || true
+    exit 1
+}
+sed -n 's/^rild: //p' "$tmp/rild_load.out"
+# /metrics: every line is a comment or "name[{labels}] value", and the
+# core daemon series must be present.
+curl -sf "http://$rild_addr/metrics" > "$tmp/rild_metrics.txt" || {
+    echo "ci: /metrics fetch failed" >&2
+    kill -9 "$rild_pid" 2>/dev/null || true
+    exit 1
+}
+awk '
+    /^#/ { next }
+    /^$/ { next }
+    !/^[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ {
+        print "ci: malformed metrics line: " $0 > "/dev/stderr"
+        bad = 1
+    }
+    END { exit bad }
+' "$tmp/rild_metrics.txt"
+for m in rild_up rild_jobs_accepted_total rild_jobs_done_total rild_oracle_queries_total; do
+    grep -q "^$m[ {]" "$tmp/rild_metrics.txt" || {
+        echo "ci: /metrics is missing $m" >&2
+        exit 1
+    }
+done
+accepted=$(sed -n 's/^rild_jobs_accepted_total //p' "$tmp/rild_metrics.txt")
+done_jobs=$(sed -n 's/^rild_jobs_done_total //p' "$tmp/rild_metrics.txt")
+[ "$accepted" = 200 ] && [ "$done_jobs" = 200 ] || {
+    echo "ci: daemon counters disagree with the load (accepted=$accepted done=$done_jobs, want 200/200)" >&2
+    exit 1
+}
+kill -TERM "$rild_pid"
+wait "$rild_pid" || {
+    echo "ci: rild exited nonzero after SIGTERM drain:" >&2
+    cat "$tmp/rild.err" >&2
+    exit 1
+}
+leftover=$(find "$rild_state" -name '*.tmp' | wc -l)
+[ "$leftover" = 0 ] || {
+    echo "ci: drained rild left $leftover temp file(s) in $rild_state" >&2
+    exit 1
+}
+echo "ci: rild served 200/200 jobs, metrics well-formed, drain clean"
 
 echo "ci: all checks passed"

@@ -20,10 +20,13 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/baselines"
 	"repro/internal/cache"
@@ -56,6 +59,13 @@ func main() {
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	// SIGINT/SIGTERM aborts before the next stage boundary (lock, lint,
+	// emit) rather than writing a partial artifact; cache GC still runs
+	// and the exit is nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "locker: -in is required")
 		os.Exit(2)
@@ -103,10 +113,12 @@ func main() {
 		}
 	}
 
+	checkInterrupted(ctx, &cacheFlags, c)
 	locked, keyPos, key, lintOpts, extra, err := lock(orig, *scheme, *size, *blocks, *keybits, *hd, *seed, *scan)
 	if err != nil {
 		fail(err)
 	}
+	checkInterrupted(ctx, &cacheFlags, c)
 
 	// Refuse to emit a structurally unsound or weakened lock: a cycle,
 	// an undriven net, or dead key material is a defect of the lock, not
@@ -143,6 +155,7 @@ func main() {
 		}
 		art.Key = append(art.Key, fmt.Sprintf("%s=%d", name, bit))
 	}
+	checkInterrupted(ctx, &cacheFlags, c)
 	// Only lint-clean (or explicitly -nolint) artifacts reach this
 	// point, so everything stored is safe to re-emit without re-linting.
 	if ck.Valid() {
@@ -210,6 +223,17 @@ func closeCache(f *cache.Flags, c *cache.Cache) {
 	if err := f.Close(c, os.Stderr, "locker"); err != nil {
 		fmt.Fprintln(os.Stderr, "locker: cache gc:", err)
 	}
+}
+
+// checkInterrupted aborts at a stage boundary once a signal lands: no
+// partial artifact is emitted, cache GC still runs, exit is nonzero.
+func checkInterrupted(ctx context.Context, f *cache.Flags, c *cache.Cache) {
+	if ctx.Err() == nil {
+		return
+	}
+	closeCache(f, c)
+	fmt.Fprintln(os.Stderr, "locker: interrupted; no artifact emitted")
+	os.Exit(1)
 }
 
 func lock(orig *netlist.Netlist, scheme, sizeStr string, blocks, keybits, hd int, seed int64, scan bool) (*netlist.Netlist, []int, []bool, netlint.Options, string, error) {

@@ -17,13 +17,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cache"
@@ -76,11 +79,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rilbench:", err)
 		os.Exit(1)
 	}
+
+	// SIGINT/SIGTERM cancels the table sweeps mid-cell: finished cells
+	// stay in checkpoints and the cache, cache GC still runs, and the
+	// exit is nonzero so scripts see the run did not complete.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := report.AttackConfig{Timeout: *timeout, Scale: *scale, Seed: *seed, NoLint: *nolint, Jobs: *jobs,
-		CheckpointDir: *ckptDir, Resume: *resume, Portfolio: *pfolio, Cache: c}
+		CheckpointDir: *ckptDir, Resume: *resume, Portfolio: *pfolio, Cache: c, Context: ctx}
 	runErr := run(*exp, cfg, *counts, *circs, *mc, *traces)
 	if err := cacheFlags.Close(c, os.Stderr, "rilbench"); err != nil {
 		fmt.Fprintln(os.Stderr, "rilbench: cache gc:", err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "rilbench: interrupted; finished cells are checkpointed, re-run with -resume to continue")
+		os.Exit(1)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "rilbench:", runErr)

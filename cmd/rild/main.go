@@ -1,0 +1,162 @@
+// Command rild is the lock/attack service daemon: it accepts lock,
+// attack, lint and sweep jobs over HTTP JSON, runs them on a bounded
+// worker pool with per-job deadlines and panic isolation, and persists
+// every job — spec, DIP journal, outcome — under -state, so a killed
+// daemon restarts and resumes in-flight attacks without repeating a
+// single oracle query.
+//
+// Serve:
+//
+//	rild -state /var/lib/rild [-addr :8372] [-workers N] [-cache DIR]
+//
+// SIGINT/SIGTERM drains gracefully: stop accepting, give running jobs
+// -drain-grace to finish, then interrupt them (their journals keep
+// what they paid for), flush cache GC, exit 0.
+//
+// Load-test an already-running daemon:
+//
+//	rild -load 1000 -addr 127.0.0.1:8372
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8372", "listen address (serve) or daemon address (-load)")
+		stateDir     = flag.String("state", "", "persistent state directory (required to serve)")
+		workers      = flag.Int("workers", 0, "job workers (0 = all CPUs)")
+		defTimeout   = flag.Duration("default-timeout", 2*time.Minute, "job deadline when the spec sets none (0 = none)")
+		drainGrace   = flag.Duration("drain-grace", 10*time.Second, "how long a drain lets running jobs finish before interrupting them")
+		loadJobs     = flag.Int("load", 0, "run as a load-test client: submit N attack jobs against -addr and exit")
+		loadConc     = flag.Int("load-concurrency", 32, "load client goroutines")
+		loadTenants  = flag.Int("load-tenants", 4, "load tenants")
+		loadVariants = flag.Int("load-variants", 8, "distinct locked circuits in the load mix")
+		loadKeyBits  = flag.Int("load-keybits", 5, "key bits per load circuit")
+		loadTimeout  = flag.Duration("load-timeout", 30*time.Second, "server-side deadline per load job")
+		loadNoCache  = flag.Bool("load-nocache", true, "submit load jobs with no_cache so every job runs live")
+	)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *loadJobs > 0 {
+		if err := runLoad(ctx, *addr, serve.LoadOptions{
+			Jobs:        *loadJobs,
+			Concurrency: *loadConc,
+			Tenants:     *loadTenants,
+			Variants:    *loadVariants,
+			KeyBits:     *loadKeyBits,
+			JobTimeout:  *loadTimeout,
+			NoCache:     *loadNoCache,
+		}); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "rild: -state is required (or -load to run as a client)")
+		os.Exit(2)
+	}
+	c, err := cacheFlags.Open()
+	if err != nil {
+		fail(err)
+	}
+	logger := log.New(os.Stderr, "rild: ", log.LstdFlags)
+	srv, err := serve.New(serve.Options{
+		StateDir:       *stateDir,
+		Workers:        *workers,
+		Cache:          c,
+		DefaultTimeout: *defTimeout,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		fail(err)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// The actual address line doubles as the readiness signal for
+	// scripts that started us on :0.
+	fmt.Printf("rild: listening on %s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() {
+		defer recoverToErr(serveErr)
+		serveErr <- hs.Serve(ln)
+	}()
+
+	select {
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		logger.Printf("signal received; draining (grace %v)", *drainGrace)
+		srv.Drain(*drainGrace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err = hs.Shutdown(shutdownCtx)
+		cancel()
+		if err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+		logger.Printf("drained; exiting")
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	}
+}
+
+// runLoad drives the load harness against a running daemon.
+func runLoad(ctx context.Context, addr string, opt serve.LoadOptions) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	logger := log.New(os.Stderr, "rild: ", log.LstdFlags)
+	rep, err := serve.LoadTest(ctx, base, opt, logger.Printf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rild: %s\n", rep)
+	if rep.Lost > 0 || rep.Duplicated > 0 {
+		return fmt.Errorf("load test lost %d and duplicated %d jobs", rep.Lost, rep.Duplicated)
+	}
+	if rep.Done == 0 {
+		return fmt.Errorf("load test completed no jobs")
+	}
+	return nil
+}
+
+// recoverToErr converts a panic in the HTTP serve goroutine into an
+// error on the channel so main can report it instead of crashing.
+func recoverToErr(ch chan<- error) {
+	if r := recover(); r != nil {
+		ch <- fmt.Errorf("http serve panicked: %v", r)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rild:", err)
+	os.Exit(1)
+}

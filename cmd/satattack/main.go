@@ -39,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/attack"
@@ -106,6 +108,14 @@ func main() {
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancels the attack context: running solver loops
+	// stop at the next DIP boundary, journals keep what they paid for,
+	// and cache GC still runs before the nonzero exit. A second signal
+	// kills immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	if *lockedPath == "" || *keyPath == "" {
 		fmt.Fprintln(os.Stderr, "satattack: -locked and -key are required")
 		os.Exit(2)
@@ -157,10 +167,13 @@ func main() {
 		fail(err)
 	}
 	if len(lockedList) == 1 {
-		runSingle(lockedList[0], keyList[0], *prefix, *timeout, *portfolio,
+		runErr := runSingle(ctx, lockedList[0], keyList[0], *prefix, *timeout, *portfolio,
 			*appsat, *bva, *sensitize, *removal, *tracePath, *jsonOut, ckpt, *resume, c)
 		if err := cacheFlags.Close(c, os.Stderr, "satattack"); err != nil {
 			fmt.Fprintln(os.Stderr, "satattack: cache gc:", err)
+		}
+		if runErr != nil {
+			failInterruptible(ctx, runErr)
 		}
 		return
 	}
@@ -201,7 +214,7 @@ func main() {
 				tr.Target, tr.Status, tr.Iterations, tr.Queries, tr.Replayed, res.Seconds)
 		},
 	}
-	results := runner.Run(context.Background(), jobList)
+	results := runner.Run(ctx, jobList)
 	if err := cacheFlags.Close(c, os.Stderr, "satattack"); err != nil {
 		fmt.Fprintln(os.Stderr, "satattack: cache gc:", err)
 	}
@@ -209,6 +222,10 @@ func main() {
 		if err := writeJSON(*jsonOut, results); err != nil {
 			fail(err)
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "satattack: interrupted; journals and cache are flushed, re-run with -resume to continue")
+		os.Exit(1)
 	}
 	if errs := sweep.Errs(results); len(errs) > 0 {
 		fmt.Fprintf(os.Stderr, "satattack: %d/%d targets failed\n", len(errs), len(results))
@@ -308,6 +325,9 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 			return nil, err
 		}
 		status, recovered, tr.Iterations = res.Status, res.Key, res.DIPs
+		if err := interrupted(ctx, status); err != nil {
+			return nil, err
+		}
 	} else {
 		opts := attack.SATOptions{Timeout: timeout, BVA: bva, Context: ctx, Portfolio: portfolio}
 		if trace != nil {
@@ -342,6 +362,9 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 		}
 		status, recovered, tr.Iterations, tr.Replayed, tr.Solver =
 			res.Status, res.Key, res.Iterations, res.Replayed, res.Solver
+		if err := interrupted(ctx, status); err != nil {
+			return nil, err
+		}
 	}
 	tr.Status = status.String()
 	tr.Queries = oracle.Queries()
@@ -356,37 +379,61 @@ func attackOne(ctx context.Context, lockedPath, keyPath, prefix string,
 	return tr, nil
 }
 
+// interrupted distinguishes the paper's legitimate Timeout verdict
+// (the attack's own SAT budget expired → reported as infinity) from an
+// attack cut short by SIGINT/SIGTERM: a cancelled context also
+// surfaces as Timeout with a nil error, and recording that as a
+// timeout would fabricate an infinity data point the solver never
+// earned. Per-job deadlines (DeadlineExceeded) stay legitimate.
+func interrupted(ctx context.Context, status attack.Status) error {
+	if status == attack.Timeout && errors.Is(ctx.Err(), context.Canceled) {
+		return fmt.Errorf("attack interrupted: %w", context.Cause(ctx))
+	}
+	return nil
+}
+
+// failInterruptible reports err and exits nonzero, labelling the
+// signal-cancelled case explicitly.
+func failInterruptible(ctx context.Context, err error) {
+	if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "satattack: interrupted; journals and cache are flushed, re-run with -resume to continue")
+		os.Exit(1)
+	}
+	fail(err)
+}
+
 // runSingle preserves the original single-target output format. The
 // result cache applies to the standard SAT/AppSAT attack only; the
 // sensitization/removal analyses and -trace runs (whose point is the
-// side-effect trace file) always run live.
-func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfolio int,
+// side-effect trace file) always run live. The returned error is
+// reported by main after cache teardown.
+func runSingle(ctx context.Context, lockedPath, keyPath, prefix string, timeout time.Duration, portfolio int,
 	appsat, bva, sensitize, removal bool, tracePath, jsonOut string,
-	ckpt *sweep.Checkpoint, resume bool, c *cache.Cache) {
+	ckpt *sweep.Checkpoint, resume bool, c *cache.Cache) error {
 	f, err := os.Open(lockedPath)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	locked, err := netlist.ParseBench(lockedPath, f)
 	f.Close()
 	if err != nil {
-		fail(err)
+		return err
 	}
 	keyPos := locked.GateIDsByPrefix(prefix)
 	if len(keyPos) == 0 {
-		fail(fmt.Errorf("no key inputs with prefix %q", prefix))
+		return fmt.Errorf("no key inputs with prefix %q", prefix)
 	}
 	key, err := readKey(keyPath, locked, keyPos)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	bound, err := locked.BindInputs(keyPos, key)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	oracle, err := attack.NewSimOracle(bound)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
 	fmt.Printf("satattack: %d key bits, %d functional inputs, %d outputs, timeout %v\n",
@@ -395,26 +442,26 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfo
 	if sensitize {
 		res, err := attack.Sensitize(locked, keyPos, oracle, 16, timeout)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Println("satattack:", res)
-		return
+		return nil
 	}
 	if removal {
 		stripped, err := attack.StructuralRemoval(locked, keyPos, 1)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		strippedOracle, err := attack.NewSimOracle(stripped)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		e, err := attack.OracleErrorRate(strippedOracle, oracle, 16, 2)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		fmt.Printf("satattack: removal attack output error rate %.6f (0 = circuit recovered exactly)\n", e)
-		return
+		return nil
 	}
 
 	var ck cache.Key
@@ -425,37 +472,39 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfo
 	if tracePath != "" {
 		trace, err = os.Create(tracePath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 	}
 	start := time.Now()
 	var tr *targetResult
 	cached := false
+	seconds := 0.0
 	if ck.Valid() {
-		if raw, ok := c.Get(ck); ok {
+		if raw, storedSecs, ok := c.GetTimed(ck); ok {
 			var hit targetResult
 			if err := json.Unmarshal(raw, &hit); err == nil {
-				tr, cached = &hit, true
+				tr, cached, seconds = &hit, true, storedSecs
 			}
 		}
 	}
 	if tr == nil {
-		tr, err = attackOne(context.Background(), lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva, trace,
+		tr, err = attackOne(ctx, lockedPath, keyPath, prefix, timeout, portfolio, appsat, bva, trace,
 			jobJournalPath(ckpt, lockedPath), resume)
 		if trace != nil {
 			err = errors.Join(err, trace.Close())
 		}
 		if err != nil {
-			fail(err)
+			return err
 		}
+		seconds = time.Since(start).Seconds()
 		if ck.Valid() {
 			if raw, err := json.Marshal(tr); err == nil {
-				_ = c.Put(ck, raw)
+				_ = c.PutTimed(ck, raw, seconds)
 			}
 		}
 	}
 	if cached {
-		fmt.Println("satattack: result served from cache (no oracle queries, no solver calls)")
+		fmt.Printf("satattack: result served from cache (no oracle queries, no solver calls; originally %.2fs)\n", seconds)
 	}
 	fmt.Printf("satattack: %s after %d DIPs in %v (%+v)\n",
 		tr.Status, tr.Iterations, time.Since(start).Round(time.Millisecond), tr.Solver)
@@ -467,11 +516,10 @@ func runSingle(lockedPath, keyPath, prefix string, timeout time.Duration, portfo
 		fmt.Println("satattack: TIMEOUT — the paper reports this outcome as infinity")
 	}
 	if jsonOut != "" {
-		res := sweep.Result{Name: lockedPath, Value: tr, Seconds: time.Since(start).Seconds()}
-		if err := writeJSON(jsonOut, []sweep.Result{res}); err != nil {
-			fail(err)
-		}
+		res := sweep.Result{Name: lockedPath, Value: tr, Seconds: seconds}
+		return writeJSON(jsonOut, []sweep.Result{res})
 	}
+	return nil
 }
 
 func writeJSON(path string, results []sweep.Result) error {

@@ -2,10 +2,12 @@ package cache
 
 import (
 	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -219,17 +221,29 @@ func associatedData(k Key) []byte {
 // removed, counted under Invalidations, and reported as a miss so the
 // caller recomputes.
 func (c *Cache) Get(k Key) ([]byte, bool) {
+	payload, _, ok := c.GetTimed(k)
+	return payload, ok
+}
+
+// GetTimed is Get plus the wall-clock seconds the original computation
+// took, as recorded by PutTimed. Consumers that report runtimes (the
+// sweep runner's Result.Seconds, the report tables' warm cells) restore
+// the original timing instead of reporting a 0-second cache hit.
+func (c *Cache) GetTimed(k Key) ([]byte, float64, bool) {
 	if !k.Valid() {
-		return nil, false
+		return nil, 0, false
 	}
 	path := c.entryPath(k)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		c.misses.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
-	payload, ok := c.decode(k, raw)
-	if !ok {
+	plain, ok := c.decode(k, raw)
+	// Every schema-2 payload is seconds prefix + caller bytes; anything
+	// shorter is damage (the prefix is inside the sealed payload, so
+	// this only triggers on a bug or a forged master key).
+	if !ok || len(plain) < secondsPrefixLen {
 		// Tampered, truncated or foreign bytes: drop the entry so the
 		// recompute's Put replaces it, and report the authentication
 		// failure separately from a plain miss.
@@ -238,14 +252,18 @@ func (c *Cache) Get(k Key) ([]byte, bool) {
 		if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
 			c.putErrors.Add(1)
 		}
-		return nil, false
+		return nil, 0, false
+	}
+	seconds := math.Float64frombits(binary.BigEndian.Uint64(plain[:secondsPrefixLen]))
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 {
+		seconds = 0
 	}
 	c.hits.Add(1)
 	now := time.Now()
 	// Best-effort LRU refresh; a read-only cache dir only weakens
 	// eviction order, never correctness.
 	_ = os.Chtimes(path, now, now)
-	return payload, true
+	return plain[secondsPrefixLen:], seconds, true
 }
 
 // decode parses and authenticates one entry file.
@@ -267,7 +285,16 @@ func (c *Cache) decode(k Key, raw []byte) ([]byte, bool) {
 // ever observe complete entries, and a crash mid-Put leaves at worst
 // an orphaned temp file that the next GC sweeps.
 func (c *Cache) Put(k Key, payload []byte) error {
-	err := c.put(k, payload)
+	return c.PutTimed(k, payload, 0)
+}
+
+// PutTimed is Put plus the wall-clock seconds the computation that
+// produced the payload took; GetTimed returns them alongside the
+// payload so cache hits keep their runtime accounting. The seconds
+// live inside the sealed payload, covered by the same authentication
+// as the result itself.
+func (c *Cache) PutTimed(k Key, payload []byte, seconds float64) error {
+	err := c.put(k, payload, seconds)
 	if err != nil {
 		c.putErrors.Add(1)
 		return err
@@ -276,10 +303,21 @@ func (c *Cache) Put(k Key, payload []byte) error {
 	return nil
 }
 
-func (c *Cache) put(k Key, payload []byte) error {
+// secondsPrefixLen is the size of the runtime prefix inside every
+// sealed payload: one big-endian IEEE-754 float64.
+const secondsPrefixLen = 8
+
+func (c *Cache) put(k Key, payload []byte, seconds float64) error {
 	if !k.Valid() {
 		return fmt.Errorf("cache: Put with invalid key")
 	}
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 {
+		seconds = 0
+	}
+	plain := make([]byte, secondsPrefixLen+len(payload))
+	binary.BigEndian.PutUint64(plain, math.Float64bits(seconds))
+	copy(plain[secondsPrefixLen:], payload)
+	payload = plain
 	var nonce [asconNonceLen]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
 		return fmt.Errorf("cache: %w", err)

@@ -230,7 +230,7 @@ func TestCachePutCrash(t *testing.T) {
 func TestCacheGCEvictsLRU(t *testing.T) {
 	dir := t.TempDir()
 	payload := bytes.Repeat([]byte("p"), 200)
-	entryBytes := len(entryMagic) + 1 + asconNonceLen + len(payload) + asconTagLen
+	entryBytes := len(entryMagic) + 1 + asconNonceLen + secondsPrefixLen + len(payload) + asconTagLen
 	c, err := Open(dir, Options{MaxBytes: int64(3 * entryBytes)})
 	if err != nil {
 		t.Fatal(err)
@@ -302,5 +302,44 @@ func TestCacheMasterKeyPersists(t *testing.T) {
 	}
 	if _, err := Open(dir, Options{}); err == nil {
 		t.Fatal("open accepted a corrupt master key")
+	}
+}
+
+func TestCacheTimedRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(t, "timed")
+	if err := c.PutTimed(k, []byte("payload"), 12.75); err != nil {
+		t.Fatal(err)
+	}
+	got, secs, ok := c.GetTimed(k)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("GetTimed = %q, %v; want payload hit", got, ok)
+	}
+	if secs != 12.75 {
+		t.Fatalf("GetTimed seconds = %v, want 12.75", secs)
+	}
+	// The plain API round-trips through the same entries: Put records
+	// zero seconds, Get drops them.
+	if raw, ok := c.Get(k); !ok || string(raw) != "payload" {
+		t.Fatalf("Get = %q, %v; want payload hit", raw, ok)
+	}
+	k2 := testKey(t, "untimed")
+	if err := c.Put(k2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, secs, ok := c.GetTimed(k2); !ok || secs != 0 {
+		t.Fatalf("GetTimed on Put entry = %v seconds, %v; want 0, hit", secs, ok)
+	}
+	// Nonsense timings are clamped to zero rather than poisoning
+	// downstream accounting.
+	k3 := testKey(t, "negative")
+	if err := c.PutTimed(k3, []byte("y"), -3); err != nil {
+		t.Fatal(err)
+	}
+	if _, secs, ok := c.GetTimed(k3); !ok || secs != 0 {
+		t.Fatalf("GetTimed on negative-seconds entry = %v, %v; want 0, hit", secs, ok)
 	}
 }

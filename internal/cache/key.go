@@ -18,7 +18,14 @@ import (
 // key, so any change to the entry format, the canonicalization rules
 // or the meaning of cached payloads invalidates all existing entries
 // by construction — stale entries become misses, never wrong answers.
-const SchemaVersion = 1
+//
+// Version history:
+//
+//	1: payload is the caller's bytes verbatim
+//	2: payload carries the original computation's wall-clock seconds
+//	   (8-byte prefix, see PutTimed/GetTimed) so cache hits keep their
+//	   runtime accounting instead of reporting 0s
+const SchemaVersion = 2
 
 // Key is a content-addressed cache key: the canonical SHA-256 hash of
 // everything that determines a cached result. The zero Key is invalid

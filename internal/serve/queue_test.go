@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// qjob builds a queued jobState stub.
+func qjob(id, tenant string, prio int) *jobState {
+	return &jobState{
+		id:   id,
+		spec: &JobSpec{Tenant: tenant, Priority: prio},
+		subs: map[int]chan []byte{},
+		done: make(chan struct{}),
+	}
+}
+
+func popIDs(t *testing.T, q *queue, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stop := context.AfterFunc(ctx, q.wake)
+	defer stop()
+	var out []string
+	for i := 0; i < n; i++ {
+		js, ok := q.popWait(ctx)
+		if !ok {
+			t.Fatalf("queue closed after %d pops, want %d", i, n)
+		}
+		out = append(out, js.id)
+	}
+	return out
+}
+
+// TestQueueTenantFairness: within one priority band tenants rotate
+// round-robin, so a hot tenant's backlog cannot starve the others.
+func TestQueueTenantFairness(t *testing.T) {
+	q := newQueue()
+	// Tenant a floods first; b and c each submit one job afterwards.
+	for i := 0; i < 4; i++ {
+		q.push(qjob(fmt.Sprintf("a%d", i), "a", 0))
+	}
+	q.push(qjob("b0", "b", 0))
+	q.push(qjob("c0", "c", 0))
+
+	got := popIDs(t, q, 6)
+	want := []string{"a0", "b0", "c0", "a1", "a2", "a3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueuePriorityBands: higher priority always dispatches first,
+// and priorities clamp into [MinPriority, MaxPriority].
+func TestQueuePriorityBands(t *testing.T) {
+	q := newQueue()
+	q.push(qjob("low", "x", -1))
+	q.push(qjob("mid", "x", 0))
+	q.push(qjob("high", "x", 5))
+	q.push(qjob("huge", "y", 999)) // clamps to MaxPriority
+	got := popIDs(t, q, 4)
+	want := []string{"huge", "high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueRemove: a removed (cancelled) job never dispatches; depth
+// accounting follows.
+func TestQueueRemove(t *testing.T) {
+	q := newQueue()
+	q.push(qjob("keep", "a", 0))
+	q.push(qjob("drop", "a", 0))
+	if q.remove("drop") == nil {
+		t.Fatal("remove failed to find queued job")
+	}
+	if q.remove("drop") != nil {
+		t.Fatal("second remove found a ghost")
+	}
+	if q.size() != 1 {
+		t.Fatalf("size = %d, want 1", q.size())
+	}
+	if got := popIDs(t, q, 1); got[0] != "keep" {
+		t.Fatalf("popped %q, want keep", got[0])
+	}
+}
+
+// TestQueueCloseUnblocks: close wakes a blocked popWait with ok=false
+// and push refuses afterwards; queued jobs stay put for the next
+// daemon start.
+func TestQueueCloseUnblocks(t *testing.T) {
+	q := newQueue()
+	unblocked := make(chan bool, 1)
+	go func() {
+		defer close(unblocked)
+		_, ok := q.popWait(context.Background())
+		unblocked <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("popWait returned a job from an empty closed queue")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("close did not unblock popWait")
+	}
+	if q.push(qjob("late", "a", 0)) {
+		t.Fatal("push succeeded on a closed queue")
+	}
+	q.push(qjob("x", "a", 0)) // refused, but must not panic
+}
+
+// TestQueueContextCancelUnblocks: a cancelled context (wired through
+// wake, as the server's AfterFunc does) unblocks waiters.
+func TestQueueContextCancelUnblocks(t *testing.T) {
+	q := newQueue()
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := context.AfterFunc(ctx, q.wake)
+	defer stop()
+	unblocked := make(chan bool, 1)
+	go func() {
+		defer close(unblocked)
+		_, ok := q.popWait(ctx)
+		unblocked <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-unblocked:
+		if ok {
+			t.Fatal("popWait returned a job after context cancel")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock popWait")
+	}
+}

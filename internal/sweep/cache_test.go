@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 )
@@ -188,5 +189,48 @@ func TestResumeConsultsCache(t *testing.T) {
 		if _, ok := again.Completed(jobs[i].Name); !ok {
 			t.Fatalf("job %d missing from manifest after cache-hit resume", i)
 		}
+	}
+}
+
+// TestRunnerCacheWarmKeepsSeconds: a cache hit must report the
+// original run's wall clock, not 0 — warm SATRuntimeTable/Table I
+// cells and JSON sweep results show real runtimes (the schema-2 entry
+// stores the seconds alongside the payload).
+func TestRunnerCacheWarmKeepsSeconds(t *testing.T) {
+	c, err := cache.Open(t.TempDir(), cache.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := cache.NewKey("sweep-test").Int("timed", 1).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{
+		Name:     "slow",
+		CacheKey: k,
+		Run: func(ctx context.Context, _ int64) (any, error) {
+			time.Sleep(30 * time.Millisecond)
+			return &cellPayload{N: 1, Verdict: "done"}, nil
+		},
+	}}
+	cold := (&Runner{Cache: c}).Run(context.Background(), jobs)
+	if err := FirstErr(cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold[0].Seconds < 0.03 {
+		t.Fatalf("cold Seconds = %v, want >= 0.03", cold[0].Seconds)
+	}
+	warm := (&Runner{Cache: c}).Run(context.Background(), jobs)
+	if err := FirstErr(warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm[0].Cached {
+		t.Fatal("warm job not served from cache")
+	}
+	if warm[0].Seconds != cold[0].Seconds {
+		t.Fatalf("warm Seconds = %v, want the original %v", warm[0].Seconds, cold[0].Seconds)
+	}
+	if warm[0].Elapsed <= 0 {
+		t.Fatalf("warm Elapsed = %v, want the restored duration", warm[0].Elapsed)
 	}
 }

@@ -150,6 +150,13 @@ func (c *Checkpoint) JobFile(name string) string {
 	return filepath.Join(c.dir, fmt.Sprintf("%s-%08x.journal", sb.String(), crc32.ChecksumIEEE([]byte(name))))
 }
 
+// Record stores one finished job and atomically rewrites the manifest,
+// exactly as the Runner does after each completion. External drivers
+// that dispatch jobs one at a time (the rild daemon's queue workers
+// run RunOne per dequeued job) persist completions through it so a
+// restart resumes from the same manifest a batch sweep would leave.
+func (c *Checkpoint) Record(res Result) error { return c.record(res) }
+
 // record stores one finished job and atomically rewrites the manifest
 // (write temp, fsync, rename) so a kill mid-write can never corrupt a
 // previously valid manifest.
@@ -208,6 +215,12 @@ func (c *Checkpoint) flushLocked() error {
 	// though record() already reported the job persisted.
 	return syncDir(c.dir)
 }
+
+// SyncDir fsyncs a directory so a preceding rename in it survives a
+// crash — the second half of the write-temp/fsync/rename discipline,
+// exported for other state writers (the daemon's job-spec files) that
+// follow it.
+func SyncDir(dir string) error { return syncDir(dir) }
 
 // syncDir fsyncs a directory so a preceding rename in it survives a
 // crash. Filesystems that reject directory fsync (some network

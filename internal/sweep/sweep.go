@@ -17,6 +17,7 @@ package sweep
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -39,7 +40,9 @@ type Job struct {
 	// from its base seed alone.
 	Seed int64
 	// Timeout overrides the runner's default per-job timeout
-	// (0 = inherit).
+	// (0 = inherit). A negative Timeout is a configuration error, not a
+	// "no deadline" request: Run and RunOne reject it up front with
+	// ErrNegativeTimeout instead of silently running unbounded.
 	Timeout time.Duration
 	// CacheKey, when valid and Runner.Cache is set, identifies the
 	// job's result in the content-addressed cache: the job is served
@@ -112,12 +115,42 @@ type Runner struct {
 	Cache *cache.Cache
 }
 
+// ErrNegativeTimeout reports a Job built with a negative Timeout. The
+// field's contract is "0 = inherit the runner default, positive =
+// override"; a negative value is always a caller bug (most often a
+// subtraction that went past zero), and silently treating it as "no
+// deadline" would disable the very guardrail the field exists for. Run
+// and RunOne fail fast at entry instead of running anything.
+var ErrNegativeTimeout = errors.New("sweep: negative job timeout")
+
+// checkTimeouts validates every job's Timeout before any job runs,
+// returning a descriptive ErrNegativeTimeout for the first offender.
+func checkTimeouts(jobs []Job) error {
+	for i := range jobs {
+		if jobs[i].Timeout < 0 {
+			return fmt.Errorf("job %q (index %d) has timeout %v: %w",
+				jobs[i].Name, i, jobs[i].Timeout, ErrNegativeTimeout)
+		}
+	}
+	return nil
+}
+
 // Run executes all jobs and returns their results in job order. A
 // cancelled ctx stops the sweep: running jobs see their contexts
-// cancelled, queued jobs are not started and report ctx's error.
+// cancelled, queued jobs are not started and report ctx's error. A job
+// with a negative Timeout fails the whole sweep at entry — every
+// result carries ErrNegativeTimeout and nothing runs.
 func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := checkTimeouts(jobs); err != nil {
+		results := make([]Result, len(jobs))
+		for i := range jobs {
+			results[i] = Result{Name: jobs[i].Name, Index: i, Worker: -1,
+				Err: err, Error: err.Error()}
+		}
+		return results
 	}
 	workers := r.Workers
 	if workers <= 0 {
@@ -153,13 +186,17 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 			if skipped[i] || !jobs[i].CacheKey.Valid() {
 				continue
 			}
-			raw, ok := r.Cache.Get(jobs[i].CacheKey)
+			raw, seconds, ok := r.Cache.GetTimed(jobs[i].CacheKey)
 			if !ok {
 				continue
 			}
 			skipped[i] = true
+			// The hit keeps the original run's wall clock (stored by
+			// PutTimed below) so warm report cells and JSON results never
+			// show a 0-second runtime for real solver work.
 			results[i] = Result{Name: jobs[i].Name, Index: i, Worker: -1,
-				Value: json.RawMessage(raw), Cached: true}
+				Value: json.RawMessage(raw), Cached: true,
+				Seconds: seconds, Elapsed: time.Duration(seconds * float64(time.Second))}
 			if r.Checkpoint != nil {
 				if err := r.Checkpoint.record(results[i]); err != nil {
 					results[i].Err = fmt.Errorf("checkpoint: %w", err)
@@ -191,7 +228,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) []Result {
 				if r.Cache != nil && jobs[i].CacheKey.Valid() &&
 					results[i].Err == nil && results[i].Value != nil {
 					if raw, err := json.Marshal(results[i].Value); err == nil {
-						_ = r.Cache.Put(jobs[i].CacheKey, raw)
+						_ = r.Cache.PutTimed(jobs[i].CacheKey, raw, results[i].Seconds)
 					}
 				}
 				if r.Progress != nil {
@@ -224,6 +261,22 @@ feed:
 	return results
 }
 
+// RunOne executes a single job with the runner's default deadline and
+// panic isolation but without the batch pool: long-lived consumers
+// (the rild daemon's queue workers) dequeue jobs one at a time and run
+// each through RunOne, getting the exact per-job semantics of Run —
+// including the negative-Timeout contract and the interrupted-result
+// accounting on a cancelled ctx.
+func (r *Runner) RunOne(ctx context.Context, job Job) Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := checkTimeouts([]Job{job}); err != nil {
+		return Result{Name: job.Name, Worker: -1, Err: err, Error: err.Error()}
+	}
+	return r.runOne(ctx, -1, 0, job)
+}
+
 // runOne executes a single job with deadline and panic isolation.
 func (r *Runner) runOne(ctx context.Context, worker, index int, job Job) (res Result) {
 	res = Result{Name: job.Name, Index: index, Worker: worker}
@@ -244,6 +297,18 @@ func (r *Runner) runOne(ctx context.Context, worker, index int, job Job) (res Re
 		if p := recover(); p != nil {
 			res.Err = &PanicError{Value: p, Stack: string(debug.Stack())}
 			res.Panic = true
+		}
+		if res.Err == nil && ctx.Err() != nil {
+			// The sweep itself was cancelled while the job ran. A nil
+			// error here cannot be trusted to mean "complete": attacks
+			// report a truncated run as an ordinary timeout result, and
+			// recording that as done would make a checkpoint resume skip
+			// an unfinished job forever. Conservatively mark the result
+			// interrupted — a re-run picks up the job's own journal, so
+			// the only cost is re-dispatching a job that may have just
+			// finished. Per-job deadlines (jctx) are not affected: a job
+			// that hits its own deadline is a legitimate ∞ result.
+			res.Err = fmt.Errorf("sweep: job interrupted: %w", ctx.Err())
 		}
 		if res.Err != nil {
 			res.Error = res.Err.Error()

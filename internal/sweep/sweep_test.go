@@ -366,3 +366,113 @@ func BenchmarkLatencyBoundSweep(b *testing.B) {
 		})
 	}
 }
+
+// TestNegativeTimeoutFailsFast: a negative Job.Timeout is a caller bug
+// (the field's contract is 0 = inherit, positive = override) and must
+// fail the sweep at entry instead of silently disabling the deadline.
+func TestNegativeTimeoutFailsFast(t *testing.T) {
+	var ran atomic.Int64
+	jobs := []sweep.Job{
+		{Name: "ok", Run: func(ctx context.Context, _ int64) (any, error) {
+			ran.Add(1)
+			return "x", nil
+		}},
+		{Name: "bad", Timeout: -time.Second, Run: func(ctx context.Context, _ int64) (any, error) {
+			ran.Add(1)
+			return "y", nil
+		}},
+	}
+	results := (&sweep.Runner{Workers: 2}).Run(context.Background(), jobs)
+	if ran.Load() != 0 {
+		t.Fatalf("%d jobs ran despite the negative timeout", ran.Load())
+	}
+	for i := range results {
+		if !errors.Is(results[i].Err, sweep.ErrNegativeTimeout) {
+			t.Fatalf("result %d error = %v, want ErrNegativeTimeout", i, results[i].Err)
+		}
+		if !strings.Contains(results[i].Error, `"bad"`) {
+			t.Fatalf("result %d error %q does not name the offending job", i, results[i].Error)
+		}
+	}
+
+	res := (&sweep.Runner{}).RunOne(context.Background(), jobs[1])
+	if !errors.Is(res.Err, sweep.ErrNegativeTimeout) || ran.Load() != 0 {
+		t.Fatalf("RunOne error = %v (ran=%d), want ErrNegativeTimeout without running", res.Err, ran.Load())
+	}
+}
+
+// TestRunOne: the daemon's single-job entry point keeps Run's
+// semantics — deadline inheritance from the runner and panic
+// isolation.
+func TestRunOne(t *testing.T) {
+	r := &sweep.Runner{Timeout: 50 * time.Millisecond}
+	res := r.RunOne(context.Background(), sweep.Job{
+		Name: "deadline",
+		Run: func(ctx context.Context, _ int64) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline job error = %v", res.Err)
+	}
+	res = r.RunOne(context.Background(), sweep.Job{
+		Name: "panics",
+		Run:  func(ctx context.Context, _ int64) (any, error) { panic("boom") },
+	})
+	if !res.Panic || res.Err == nil {
+		t.Fatalf("panic not isolated: %+v", res)
+	}
+	res = r.RunOne(context.Background(), sweep.Job{
+		Name: "ok",
+		Run:  func(ctx context.Context, _ int64) (any, error) { return 42, nil },
+	})
+	if res.Err != nil || res.Value != 42 {
+		t.Fatalf("RunOne = %+v", res)
+	}
+}
+
+// TestCancelledSweepNeverRecordsSuccess: a job that returns a nil
+// error while the sweep context is already cancelled must be reported
+// interrupted — attacks render a truncated run as an ordinary timeout
+// value, and recording that as done would make a checkpoint resume
+// skip an unfinished job forever.
+func TestCancelledSweepNeverRecordsSuccess(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	jobs := []sweep.Job{{
+		Name: "truncated",
+		Run: func(jctx context.Context, _ int64) (any, error) {
+			close(started)
+			<-jctx.Done()
+			// An attack in this position reports Status: Timeout with a
+			// nil error — indistinguishable from a legitimate ∞ cell.
+			return "timeout-looking-result", nil
+		},
+	}}
+	go func() {
+		<-started
+		cancel()
+	}()
+	results := (&sweep.Runner{Workers: 1}).Run(ctx, jobs)
+	if results[0].Err == nil {
+		t.Fatal("cancellation-truncated job reported success")
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", results[0].Err)
+	}
+
+	// A per-job deadline, by contrast, is a legitimate ∞ result and
+	// must stay a success.
+	res := (&sweep.Runner{}).RunOne(context.Background(), sweep.Job{
+		Name:    "legit-timeout",
+		Timeout: 20 * time.Millisecond,
+		Run: func(jctx context.Context, _ int64) (any, error) {
+			<-jctx.Done()
+			return "inf", nil
+		},
+	})
+	if res.Err != nil || res.Value != "inf" {
+		t.Fatalf("per-job deadline result = %+v, want success", res)
+	}
+}
